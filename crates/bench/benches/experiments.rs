@@ -1,0 +1,49 @@
+//! `cargo bench` entry point that exercises every paper experiment at
+//! smoke scale (scale 1/64, short traces). The real numbers for
+//! EXPERIMENTS.md come from the dedicated binaries run with `--scale 8`;
+//! this target exists so `cargo bench --workspace` touches the entire
+//! table/figure harness and prints a one-screen digest.
+
+use unison_sim::{run_experiment, Design, SimConfig};
+use unison_trace::workloads;
+
+fn main() {
+    let cfg = SimConfig::quick_test();
+    println!("== experiment smoke suite (scale 1/{}, {} accesses/run) ==", cfg.scale, cfg.accesses);
+    println!("(full-scale rows: cargo run --release -p unison-bench --bin <table2|table4|table5|fig5|fig6|fig7|fig8|energy|ablation_*>)\n");
+
+    // Figure 6/7/8 digest: one size per workload, all designs.
+    println!(
+        "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload", "design->", "Alloy", "Footpr", "Unison", "Ideal", "NoCache"
+    );
+    for w in workloads::all() {
+        let size: u64 = if w.name == "TPC-H" { 8 << 30 } else { 1 << 30 };
+        let base = run_experiment(Design::NoCache, 0, &w, &cfg);
+        let mut miss = Vec::new();
+        let mut speed = Vec::new();
+        for d in [Design::Alloy, Design::Footprint, Design::Unison, Design::Ideal] {
+            let r = run_experiment(d, size, &w, &cfg);
+            miss.push(r.cache.miss_ratio() * 100.0);
+            speed.push(r.uipc / base.uipc);
+        }
+        println!(
+            "{:<18} {:>9} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7}",
+            w.name, "miss", miss[0], miss[1], miss[2], miss[3], "100.0%"
+        );
+        println!(
+            "{:<18} {:>9} {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x",
+            "", "speedup", speed[0], speed[1], speed[2], speed[3], 1.0
+        );
+    }
+
+    // Figure 5 digest: associativity sweep on one workload.
+    let w = workloads::web_serving();
+    print!("\nfig5 digest ({} @1GB): UC miss by assoc ", w.name);
+    for assoc in [1u32, 4, 32] {
+        let r = run_experiment(Design::UnisonAssoc(assoc), 1 << 30, &w, &cfg);
+        print!(" {}way={:.1}%", assoc, r.cache.miss_ratio() * 100.0);
+    }
+    println!();
+    println!("\nsmoke suite complete.");
+}

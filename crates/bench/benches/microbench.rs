@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks for the hot paths of the simulator stack:
+//! predictor operations, the DRAM timing engine, each cache design's
+//! access path, and trace generation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use unison_core::{
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, MemPorts, Request,
+    UnisonCache, UnisonConfig,
+};
+use unison_dram::{DramConfig, DramModel, Op, RowCol};
+use unison_predictors::{Footprint, FootprintTable, MissPredictor, WayPredictor};
+use unison_trace::{workloads, WorkloadGen};
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.bench_function("footprint_table_predict", |b| {
+        let mut t = FootprintTable::paper_default(15);
+        for i in 0..1000u64 {
+            t.train(i, (i % 15) as u32, Footprint::from_mask(i, 15));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(t.predict(i % 1000, (i % 15) as u32))
+        });
+    });
+    g.bench_function("footprint_table_train", |b| {
+        let mut t = FootprintTable::paper_default(15);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.train(i % 4096, (i % 15) as u32, Footprint::from_mask(i, 15));
+        });
+    });
+    g.bench_function("way_predictor", |b| {
+        let mut wp = WayPredictor::new(12, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let w = wp.predict(i % 10_000);
+            wp.update(i % 10_000, (i % 4) as u32);
+            black_box(w)
+        });
+    });
+    g.bench_function("miss_predictor", |b| {
+        let mut mp = MissPredictor::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let p = mp.predict((i % 16) as u32, i % 997);
+            mp.update((i % 16) as u32, i % 997, i % 3 == 0);
+            black_box(p)
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("stacked_access", |b| {
+        let mut d = DramModel::new(DramConfig::stacked());
+        let mut now = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            now += 1000;
+            black_box(d.access(now, Op::Read, RowCol::new(i % 4096, ((i * 64) % 8128) as u32), 64))
+        });
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    g.throughput(Throughput::Elements(1));
+    let trace: Vec<Request> = WorkloadGen::new(workloads::web_serving().scaled(64), 1)
+        .take(100_000)
+        .map(|r| Request {
+            core: r.core,
+            pc: r.pc,
+            addr: r.addr,
+            is_write: r.kind.is_write(),
+        })
+        .collect();
+
+    g.bench_function("unison", |b| {
+        let mut cache = UnisonCache::new(UnisonConfig::new(64 << 20));
+        let mut mem = MemPorts::paper_default();
+        let mut now = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.len();
+            now += 2000;
+            black_box(cache.access(now, &trace[i], &mut mem))
+        });
+    });
+    g.bench_function("alloy", |b| {
+        let mut cache = AlloyCache::new(AlloyConfig::new(64 << 20));
+        let mut mem = MemPorts::paper_default();
+        let mut now = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.len();
+            now += 2000;
+            black_box(cache.access(now, &trace[i], &mut mem))
+        });
+    });
+    g.bench_function("footprint", |b| {
+        let mut cache = FootprintCache::new(FootprintConfig::new(64 << 20));
+        let mut mem = MemPorts::paper_default();
+        let mut now = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.len();
+            now += 2000;
+            black_box(cache.access(now, &trace[i], &mut mem))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("workload_gen_next", |b| {
+        let mut gen = WorkloadGen::new(workloads::tpch().scaled(8), 3);
+        b.iter(|| black_box(gen.next()));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predictors, bench_dram, bench_caches, bench_tracegen
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 7: performance (speedup over the no-DRAM-cache baseline) of
+//! Alloy, Footprint, Unison, and the Ideal cache for the five CloudSuite
+//! workloads across 128 MB–1 GB, plus the geometric mean.
+
+use serde::Serialize;
+use unison_bench::table::{size_label, speedup};
+use unison_bench::{BenchOpts, Table, CLOUD_SIZES};
+use unison_sim::{run_experiment, Design};
+use unison_trace::workloads;
+
+#[derive(Serialize)]
+struct Point {
+    workload: String,
+    design: String,
+    cache_bytes: u64,
+    speedup: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.print_header("Figure 7: speedup over no-DRAM-cache baseline (CloudSuite)");
+
+    let designs = [Design::Alloy, Design::Footprint, Design::Unison, Design::Ideal];
+    let mut points: Vec<Point> = Vec::new();
+
+    for w in workloads::cloudsuite() {
+        let base = run_experiment(Design::NoCache, 0, &w, &opts.cfg);
+        let mut t = Table::new(["Design", "128MB", "256MB", "512MB", "1024MB"]);
+        println!("-- {} --", w.name);
+        for d in designs {
+            let mut cells = vec![d.name()];
+            for &size in &CLOUD_SIZES {
+                let r = run_experiment(d, size, &w, &opts.cfg);
+                let s = r.uipc / base.uipc;
+                cells.push(speedup(s));
+                points.push(Point {
+                    workload: w.name.to_string(),
+                    design: d.name(),
+                    cache_bytes: size,
+                    speedup: s,
+                });
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+
+    // Geometric mean across workloads, per design and size.
+    println!("-- Geometric Mean --");
+    let mut t = Table::new(["Design", "128MB", "256MB", "512MB", "1024MB"]);
+    for d in designs {
+        let mut cells = vec![d.name()];
+        for &size in &CLOUD_SIZES {
+            let vals: Vec<f64> = points
+                .iter()
+                .filter(|p| p.design == d.name() && p.cache_bytes == size)
+                .map(|p| p.speedup)
+                .collect();
+            let gm = vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64;
+            cells.push(speedup(gm.exp()));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\n(sizes: {})", CLOUD_SIZES.iter().map(|&s| size_label(s)).collect::<Vec<_>>().join(", "));
+    println!("paper shape: Footprint leads at small sizes; Unison catches up and overtakes as");
+    println!("             size grows (FC tag latency); all below Ideal; Data Serving largest.");
+
+    opts.maybe_dump_json(&points);
+}

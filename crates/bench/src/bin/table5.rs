@@ -1,0 +1,84 @@
+//! Table V: accuracy of all predictors — Alloy's miss predictor (MP),
+//! the footprint predictor (FP) in Footprint and Unison Cache, and
+//! Unison's way predictor (WP) — per workload, at 1 GB (8 GB for TPC-H).
+
+use serde::Serialize;
+use unison_bench::table::pct;
+use unison_bench::{table5_size, BenchOpts, Table};
+use unison_sim::{run_experiment, Design};
+use unison_trace::workloads;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    mp_accuracy: f64,
+    mp_overfetch: f64,
+    fc_fp_accuracy: f64,
+    fc_fp_overfetch: f64,
+    uc960_fp_accuracy: f64,
+    uc960_fp_overfetch: f64,
+    uc960_wp_accuracy: f64,
+    uc1984_fp_accuracy: f64,
+    uc1984_fp_overfetch: f64,
+    uc1984_wp_accuracy: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.print_header("Table V: predictor accuracy @ 1GB (8GB for TPC-H)");
+
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let size = table5_size(w.name);
+        let ac = run_experiment(Design::Alloy, size, &w, &opts.cfg);
+        let fc = run_experiment(Design::Footprint, size, &w, &opts.cfg);
+        let uc = run_experiment(Design::Unison, size, &w, &opts.cfg);
+        let uc2 = run_experiment(Design::Unison1984, size, &w, &opts.cfg);
+        rows.push(Row {
+            workload: w.name.to_string(),
+            mp_accuracy: ac.cache.mp_accuracy(),
+            mp_overfetch: ac.cache.mp_overfetch(),
+            fc_fp_accuracy: fc.cache.fp_accuracy(),
+            fc_fp_overfetch: fc.cache.fp_overfetch(),
+            uc960_fp_accuracy: uc.cache.fp_accuracy(),
+            uc960_fp_overfetch: uc.cache.fp_overfetch(),
+            uc960_wp_accuracy: uc.cache.wp_accuracy(),
+            uc1984_fp_accuracy: uc2.cache.fp_accuracy(),
+            uc1984_fp_overfetch: uc2.cache.fp_overfetch(),
+            uc1984_wp_accuracy: uc2.cache.wp_accuracy(),
+        });
+        eprintln!("  ({} done)", w.name);
+    }
+
+    let avg = |f: fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+
+    let mut t = Table::new([
+        "Predictor",
+        "Data Analytics",
+        "Data Serving",
+        "Software Testing",
+        "Web Search",
+        "Web Serving",
+        "TPC-H",
+        "Average",
+    ]);
+    let metric = |label: &str, f: fn(&Row) -> f64, t: &mut Table, avg_v: f64| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(rows.iter().map(|r| pct(f(r))));
+        cells.push(pct(avg_v));
+        t.row(cells);
+    };
+    metric("Alloy MP Accuracy (%)", |r| r.mp_accuracy, &mut t, avg(|r| r.mp_accuracy));
+    metric("Alloy MP Overfetch (%)", |r| r.mp_overfetch, &mut t, avg(|r| r.mp_overfetch));
+    metric("FC FP Accuracy (%)", |r| r.fc_fp_accuracy, &mut t, avg(|r| r.fc_fp_accuracy));
+    metric("FC FP Overfetch (%)", |r| r.fc_fp_overfetch, &mut t, avg(|r| r.fc_fp_overfetch));
+    metric("UC-960B FP Accuracy (%)", |r| r.uc960_fp_accuracy, &mut t, avg(|r| r.uc960_fp_accuracy));
+    metric("UC-960B FP Overfetch (%)", |r| r.uc960_fp_overfetch, &mut t, avg(|r| r.uc960_fp_overfetch));
+    metric("UC-960B WP Accuracy (%)", |r| r.uc960_wp_accuracy, &mut t, avg(|r| r.uc960_wp_accuracy));
+    metric("UC-1984B FP Accuracy (%)", |r| r.uc1984_fp_accuracy, &mut t, avg(|r| r.uc1984_fp_accuracy));
+    metric("UC-1984B FP Overfetch (%)", |r| r.uc1984_fp_overfetch, &mut t, avg(|r| r.uc1984_fp_overfetch));
+    metric("UC-1984B WP Accuracy (%)", |r| r.uc1984_wp_accuracy, &mut t, avg(|r| r.uc1984_wp_accuracy));
+    t.print();
+
+    opts.maybe_dump_json(&rows);
+}

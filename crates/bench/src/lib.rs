@@ -1,0 +1,39 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Each binary prints the paper-style rows and accepts:
+//!
+//! * `--scale N` — divide cache sizes *and* workload footprints by `N`
+//!   (default 8; shapes are preserved, see `unison_sim::SimConfig`);
+//! * `--accesses N` — trace-length floor per run;
+//! * `--seed N` — workload seed;
+//! * `--json PATH` — also dump machine-readable results;
+//! * `--quick` — tiny sizes for smoke runs (used by `cargo bench`).
+//!
+//! Binaries: `table2`, `table4`, `table5`, `fig5`, `fig6`, `fig7`,
+//! `fig8`, `energy`, `ablation_waypred`, `ablation_always_hit`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod opts;
+pub mod shadow;
+pub mod table;
+
+pub use opts::BenchOpts;
+pub use table::Table;
+
+/// Nominal cache sizes of the CloudSuite sweeps (Figures 5–7).
+pub const CLOUD_SIZES: [u64; 4] = [128 << 20, 256 << 20, 512 << 20, 1024 << 20];
+
+/// Nominal cache sizes of the TPC-H sweeps (Figures 6 and 8).
+pub const TPCH_SIZES: [u64; 4] = [1 << 30, 2 << 30, 4 << 30, 8 << 30];
+
+/// The nominal size Table V reports: 1 GB (8 GB for TPC-H).
+pub fn table5_size(workload: &str) -> u64 {
+    if workload == "TPC-H" {
+        8 << 30
+    } else {
+        1 << 30
+    }
+}

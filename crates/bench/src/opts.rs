@@ -1,0 +1,131 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+use std::path::PathBuf;
+
+use unison_sim::SimConfig;
+
+/// Parsed options for one experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Simulation configuration (scale, accesses, seed, core model).
+    pub cfg: SimConfig,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+    /// Quick mode: heavily scaled-down smoke run.
+    pub quick: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            cfg: SimConfig::bench_default(),
+            json: None,
+            quick: false,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`Self::from_args`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = BenchOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| -> String {
+                it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--scale" => opts.cfg.scale = grab("--scale").parse().unwrap_or_else(|_| usage("bad --scale")),
+                "--accesses" => {
+                    opts.cfg.accesses = grab("--accesses").parse().unwrap_or_else(|_| usage("bad --accesses"))
+                }
+                "--seed" => opts.cfg.seed = grab("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+                "--json" => opts.json = Some(PathBuf::from(grab("--json"))),
+                "--quick" => {
+                    opts.quick = true;
+                    opts.cfg = SimConfig::quick_test();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if opts.cfg.scale == 0 {
+            usage("--scale must be positive");
+        }
+        opts
+    }
+
+    /// Prints the standard experiment header (system configuration per
+    /// Table III plus run-scale disclosure).
+    pub fn print_header(&self, what: &str) {
+        println!("== {what} ==");
+        println!(
+            "system: 16-core pod @3GHz | stacked DRAM 4ch x 128-bit @1.6GHz | off-chip DDR3-1600 (Table III)"
+        );
+        println!(
+            "run: scale 1/{} (cache sizes and workload footprints divided together), >= {} accesses/run, seed {}",
+            self.cfg.scale, self.cfg.accesses, self.cfg.seed
+        );
+        println!();
+    }
+
+    /// Writes `value` as pretty JSON if `--json` was given.
+    pub fn maybe_dump_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let s = serde_json::to_string_pretty(value).expect("serialize results");
+            std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("\n(wrote {})", path.display());
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--scale N] [--accesses N] [--seed N] [--json PATH] [--quick]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bench_defaults() {
+        let o = BenchOpts::parse(Vec::<String>::new());
+        assert_eq!(o.cfg.scale, SimConfig::bench_default().scale);
+        assert!(o.json.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = BenchOpts::parse(
+            ["--scale", "16", "--seed", "7", "--json", "/tmp/x.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.cfg.scale, 16);
+        assert_eq!(o.cfg.seed, 7);
+        assert_eq!(o.json.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+    }
+
+    #[test]
+    fn quick_switches_config() {
+        let o = BenchOpts::parse(["--quick".to_string()]);
+        assert!(o.quick);
+        assert_eq!(o.cfg.scale, SimConfig::quick_test().scale);
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text table rendering for paper-style output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty; extra cells are kept).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{cell:<w$}", w = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a speedup with two decimals.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a byte count as a human-readable cache size label.
+pub fn size_label(bytes: u64) -> String {
+    const GB: u64 = 1 << 30;
+    const MB: u64 = 1 << 20;
+    if bytes >= GB {
+        format!("{}GB", bytes / GB)
+    } else {
+        format!("{}MB", bytes / MB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(["x"]);
+        t.row(["1", "2", "3"]);
+        assert!(t.render().contains("3"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(128 << 20), "128MB");
+        assert_eq!(size_label(8 << 30), "8GB");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.937), "93.7");
+        assert_eq!(speedup(1.234), "1.23");
+    }
+}

@@ -1,0 +1,125 @@
+//! The ideal latency-optimized reference cache (§V.C).
+//!
+//! "An ideal DRAM cache that never misses and has no tag overheads — an
+//! equivalent to die-stacked main memory." Every access is served by the
+//! stacked DRAM at pure data-access latency; nothing ever goes off-chip.
+
+use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
+
+use crate::model::{CacheAccess, DramCacheModel};
+use crate::ports::MemPorts;
+use crate::stats::CacheStats;
+use crate::types::{AccessOutcome, Request, BLOCK_BYTES};
+
+/// The ideal cache. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct IdealCache {
+    nominal_bytes: u64,
+    ctrl_overhead_cycles: u64,
+    stats: CacheStats,
+}
+
+impl IdealCache {
+    /// Creates the reference design. `nominal_bytes` only labels reports;
+    /// the ideal cache behaves as if infinite.
+    pub fn new(nominal_bytes: u64) -> Self {
+        IdealCache {
+            nominal_bytes,
+            ctrl_overhead_cycles: 2,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Data layout: pure data rows of 128 blocks, row-interleaved like
+    /// main memory.
+    fn loc(req: &Request) -> RowCol {
+        let bn = req.block_number();
+        RowCol::new(bn / 128, ((bn % 128) * BLOCK_BYTES) as u32)
+    }
+}
+
+impl DramCacheModel for IdealCache {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.nominal_bytes
+    }
+
+    fn access(&mut self, now: Ps, req: &Request, mem: &mut MemPorts) -> CacheAccess {
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        let t0 = now + cpu_cycles_to_ps(self.ctrl_overhead_cycles);
+        let op = if req.is_write { Op::Write } else { Op::Read };
+        let c = mem.stacked.access(t0, op, Self::loc(req), BLOCK_BYTES as u32);
+        match op {
+            Op::Read => self.stats.stacked_read_bytes += BLOCK_BYTES,
+            Op::Write => self.stats.stacked_write_bytes += BLOCK_BYTES,
+        }
+        let access = CacheAccess {
+            outcome: AccessOutcome::Hit,
+            critical_ps: c.last_data_ps,
+            done_ps: c.last_data_ps,
+        };
+        self.stats.critical_latency_sum_ps += access.critical_ps.saturating_sub(now);
+        access
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_hits() {
+        let mut c = IdealCache::new(1 << 30);
+        let mut mem = MemPorts::paper_default();
+        let mut t = 0;
+        for i in 0..100u64 {
+            let a = c.access(
+                t,
+                &Request {
+                    core: 0,
+                    pc: 0,
+                    addr: i * 1_000_003, // scattered addresses
+                    is_write: i % 3 == 0,
+                },
+                &mut mem,
+            );
+            assert_eq!(a.outcome, AccessOutcome::Hit);
+            t = a.done_ps;
+        }
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        assert_eq!(c.stats().offchip_bytes(), 0);
+    }
+
+    #[test]
+    fn latency_is_one_dram_access() {
+        let mut c = IdealCache::new(1 << 30);
+        let mut mem = MemPorts::paper_default();
+        let a = c.access(
+            0,
+            &Request {
+                core: 0,
+                pc: 0,
+                addr: 0,
+                is_write: false,
+            },
+            &mut mem,
+        );
+        let cycles = unison_dram::ps_to_cpu_cycles(a.critical_ps);
+        assert!(
+            (20..=80).contains(&cycles),
+            "ideal access should be one DRAM access, got {cycles} cycles"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! DRAM row layout arithmetic for all three designs.
+//!
+//! Reproduces the geometry facts of Table II: blocks per 8 KB row,
+//! in-DRAM tag overhead, and SRAM tag-array sizes, for any cache size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::BLOCK_BYTES;
+
+/// DRAM row size used throughout the paper (Table III).
+pub const ROW_BYTES: u64 = 8192;
+
+/// Per-page in-DRAM metadata Unison Cache stores (Figures 2–3): the page
+/// tag with valid/dirty bit vectors (8 B, read on every access) plus the
+/// `(PC, offset)` pair and replacement state (8 B, read at eviction).
+pub const UNISON_PAGE_META_BYTES: u64 = 16;
+
+/// Bytes of set metadata read on every Unison Cache access: the tags and
+/// bit vectors of all ways, stored first in the row (§III-A.6).
+pub fn unison_tag_read_bytes(assoc: u32) -> u32 {
+    8 * assoc
+}
+
+/// Unison Cache row geometry for a given page size and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnisonRowLayout {
+    /// Blocks per page (15 for 960 B pages, 31 for 1984 B).
+    pub page_blocks: u32,
+    /// Ways per set.
+    pub assoc: u32,
+    /// Pages that fit in one row including their metadata.
+    pub pages_per_row: u32,
+    /// Whole sets per row (0 when a set spans multiple rows).
+    pub sets_per_row: u32,
+    /// Data blocks stored per row.
+    pub blocks_per_row: u32,
+}
+
+impl UnisonRowLayout {
+    /// Computes the layout. Each page occupies `page_blocks × 64 B` of
+    /// data plus [`UNISON_PAGE_META_BYTES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_blocks` is 0 or a page doesn't fit in a row.
+    pub fn new(page_blocks: u32, assoc: u32) -> Self {
+        assert!(page_blocks > 0, "pages must hold at least one block");
+        let unit = u64::from(page_blocks) * BLOCK_BYTES + UNISON_PAGE_META_BYTES;
+        assert!(unit <= ROW_BYTES, "page plus metadata must fit in a row");
+        let pages_per_row = (ROW_BYTES / unit) as u32;
+        let sets_per_row = pages_per_row / assoc.max(1);
+        UnisonRowLayout {
+            page_blocks,
+            assoc,
+            pages_per_row,
+            sets_per_row,
+            blocks_per_row: pages_per_row * page_blocks,
+        }
+    }
+
+    /// Page size in data bytes (960 or 1984 in the paper).
+    pub fn page_bytes(&self) -> u64 {
+        u64::from(self.page_blocks) * BLOCK_BYTES
+    }
+
+    /// Number of sets in a cache of `cache_bytes` of stacked DRAM.
+    ///
+    /// When a set doesn't fit in one row (the hypothetical 32-way point
+    /// of Figure 5), sets are counted across rows.
+    pub fn num_sets(&self, cache_bytes: u64) -> u64 {
+        let rows = cache_bytes / ROW_BYTES;
+        if self.sets_per_row > 0 {
+            rows * u64::from(self.sets_per_row)
+        } else {
+            (rows * u64::from(self.pages_per_row)) / u64::from(self.assoc)
+        }
+    }
+
+    /// Total pages a cache of `cache_bytes` can hold.
+    pub fn num_pages(&self, cache_bytes: u64) -> u64 {
+        self.num_sets(cache_bytes) * u64::from(self.assoc)
+    }
+
+    /// Bytes of stacked DRAM lost to embedded tags for `cache_bytes` —
+    /// counted, as the paper does, as everything in each row that is not
+    /// data blocks (metadata fields plus alignment slack): 512 B of an
+    /// 8 KB row for 960 B pages (6.2%), 256 B for 1984 B pages (3.1%),
+    /// matching Table II's "256-512MB (3.1-6.2% of DRAM)" at 8 GB.
+    pub fn in_dram_tag_bytes(&self, cache_bytes: u64) -> u64 {
+        let rows = cache_bytes / ROW_BYTES;
+        rows * (ROW_BYTES - u64::from(self.blocks_per_row) * BLOCK_BYTES)
+    }
+}
+
+/// Alloy Cache geometry: 72 B tag-and-data units, 112 per 8 KB row
+/// (Table II; the remaining 128 B of the row are unused alignment slack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlloyRowLayout {
+    /// TADs per row.
+    pub tads_per_row: u32,
+}
+
+/// TAD size: 64 B data + 8 B tag.
+pub const TAD_BYTES: u32 = 72;
+
+impl AlloyRowLayout {
+    /// The paper's layout: 112 TADs per 8 KB row.
+    pub fn paper() -> Self {
+        AlloyRowLayout { tads_per_row: 112 }
+    }
+
+    /// Number of TAD slots in `cache_bytes` of stacked DRAM.
+    pub fn num_tads(&self, cache_bytes: u64) -> u64 {
+        (cache_bytes / ROW_BYTES) * u64::from(self.tads_per_row)
+    }
+
+    /// Bytes of stacked DRAM spent on embedded tags (8 B per TAD plus
+    /// the row slack, which is also unusable for data).
+    pub fn in_dram_tag_bytes(&self, cache_bytes: u64) -> u64 {
+        let rows = cache_bytes / ROW_BYTES;
+        let data = self.num_tads(cache_bytes) * BLOCK_BYTES;
+        rows * ROW_BYTES - data
+    }
+}
+
+/// Footprint Cache SRAM tag-array model, reproducing Table IV.
+///
+/// Tag entries hold the page tag, 32 valid + 32 dirty bits, the trigger
+/// `(PC, offset)`, and replacement state — about 100 bits ≈ 12.5 B per
+/// 2 KB page (the paper's 1 GB point: 512K pages → 6.2 MB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FcTagModel {
+    /// Modeled SRAM size in MB.
+    pub tag_mb: f64,
+    /// Modeled lookup latency in CPU cycles.
+    pub latency_cycles: u64,
+}
+
+/// Per-page SRAM tag entry size for the 2 KB-page Footprint Cache.
+pub const FC_TAG_ENTRY_BYTES: f64 = 12.5;
+
+impl FcTagModel {
+    /// Computes the tag model for a cache of `cache_bytes`.
+    ///
+    /// Latency uses the paper's own Table IV values for the seven sizes
+    /// the paper lists and a fitted `6.8 × √MB` curve (CACTI-like: access
+    /// time grows with the square root of array area) elsewhere.
+    pub fn for_cache_size(cache_bytes: u64) -> Self {
+        const MB: u64 = 1 << 20;
+        let pages = cache_bytes as f64 / 2048.0;
+        let tag_mb = pages * FC_TAG_ENTRY_BYTES / (1u64 << 20) as f64;
+        let table: &[(u64, u64)] = &[
+            (128 * MB, 6),
+            (256 * MB, 9),
+            (512 * MB, 11),
+            (1024 * MB, 16),
+            (2048 * MB, 25),
+            (4096 * MB, 36),
+            (8192 * MB, 48),
+        ];
+        let latency_cycles = table
+            .iter()
+            .find(|(size, _)| *size == cache_bytes)
+            .map(|(_, lat)| *lat)
+            .unwrap_or_else(|| (6.8 * tag_mb.sqrt()).round().max(4.0) as u64);
+        FcTagModel {
+            tag_mb,
+            latency_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unison_960b_layout_matches_paper() {
+        // §IV-C.1: 2 sets of 4 pages per row, 120 blocks per row.
+        let l = UnisonRowLayout::new(15, 4);
+        assert_eq!(l.pages_per_row, 8);
+        assert_eq!(l.sets_per_row, 2);
+        assert_eq!(l.blocks_per_row, 120);
+        assert_eq!(l.page_bytes(), 960);
+    }
+
+    #[test]
+    fn unison_1984b_layout_matches_paper() {
+        // Table II: 120–124 blocks per row; 1984 B pages give 124.
+        let l = UnisonRowLayout::new(31, 4);
+        assert_eq!(l.pages_per_row, 4);
+        assert_eq!(l.sets_per_row, 1);
+        assert_eq!(l.blocks_per_row, 124);
+    }
+
+    #[test]
+    fn unison_in_dram_tags_at_8gb_match_table_ii() {
+        // Table II: 256–512 MB of in-DRAM tags at 8 GB (3.1–6.2%).
+        let gb8 = 8u64 << 30;
+        let t960 = UnisonRowLayout::new(15, 4).in_dram_tag_bytes(gb8);
+        let t1984 = UnisonRowLayout::new(31, 4).in_dram_tag_bytes(gb8);
+        let frac960 = t960 as f64 / gb8 as f64;
+        let frac1984 = t1984 as f64 / gb8 as f64;
+        assert!(frac1984 < frac960);
+        assert!((frac960 - 0.0625).abs() < 0.001, "960B tag fraction {frac960}");
+        assert!((frac1984 - 0.03125).abs() < 0.001, "1984B tag fraction {frac1984}");
+    }
+
+    #[test]
+    fn unison_32_way_spans_rows() {
+        let l = UnisonRowLayout::new(15, 32);
+        assert_eq!(l.sets_per_row, 0);
+        // Sets still counted correctly across rows.
+        let sets = l.num_sets(1 << 30);
+        assert_eq!(sets, (1u64 << 30) / 8192 * 8 / 32);
+    }
+
+    #[test]
+    fn alloy_row_matches_table_ii() {
+        let a = AlloyRowLayout::paper();
+        assert_eq!(a.tads_per_row, 112);
+        // Table II: 1 GB of tags for an 8 GB cache (12.5%).
+        let gb8 = 8u64 << 30;
+        let frac = a.in_dram_tag_bytes(gb8) as f64 / gb8 as f64;
+        assert!((frac - 0.125).abs() < 0.001, "alloy tag fraction {frac}");
+    }
+
+    #[test]
+    fn fc_tag_table_iv_values() {
+        const MB: u64 = 1 << 20;
+        let cases = [
+            (128 * MB, 0.8, 6),
+            (256 * MB, 1.58, 9),
+            (512 * MB, 3.12, 11),
+            (1024 * MB, 6.2, 16),
+            (2048 * MB, 12.5, 25),
+            (4096 * MB, 25.0, 36),
+            (8192 * MB, 50.0, 48),
+        ];
+        for (size, mb, lat) in cases {
+            let m = FcTagModel::for_cache_size(size);
+            assert_eq!(m.latency_cycles, lat, "latency @ {size}");
+            // Table IV's own entry sizes vary between 12.4 and 12.8 B per
+            // page across rows (rounding in the paper); 4% tolerance.
+            assert!(
+                (m.tag_mb - mb).abs() / mb < 0.04,
+                "tag MB @ {size}: model {} vs paper {mb}",
+                m.tag_mb
+            );
+        }
+    }
+
+    #[test]
+    fn fc_tag_interpolates_between_paper_points() {
+        const MB: u64 = 1 << 20;
+        let m = FcTagModel::for_cache_size(768 * MB);
+        let lo = FcTagModel::for_cache_size(512 * MB).latency_cycles;
+        let hi = FcTagModel::for_cache_size(1024 * MB).latency_cycles;
+        assert!((lo..=hi + 1).contains(&m.latency_cycles));
+    }
+
+    #[test]
+    fn unison_num_pages_scales_linearly() {
+        let l = UnisonRowLayout::new(15, 4);
+        assert_eq!(l.num_pages(1 << 30) * 2, l.num_pages(2 << 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in a row")]
+    fn oversized_page_panics() {
+        let _ = UnisonRowLayout::new(200, 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! The common interface all cache designs implement.
+
+use unison_dram::Ps;
+
+use crate::ports::MemPorts;
+use crate::stats::CacheStats;
+use crate::types::{AccessOutcome, Request};
+
+/// The result of presenting one request to a DRAM cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// How the request resolved.
+    pub outcome: AccessOutcome,
+    /// Absolute time the *demanded* data is available to the core
+    /// (critical-block-first semantics: footprint fills and writebacks
+    /// continue in the background and show up only as bus/bank occupancy
+    /// for later requests).
+    pub critical_ps: Ps,
+    /// Absolute time all transfers this request induced have completed.
+    pub done_ps: Ps,
+}
+
+impl CacheAccess {
+    /// True if the demanded data came from stacked DRAM.
+    pub fn hit(&self) -> bool {
+        self.outcome.is_hit()
+    }
+}
+
+// Backwards-compatible field alias used in doc examples.
+impl std::ops::Deref for CacheAccess {
+    type Target = AccessOutcome;
+    fn deref(&self) -> &AccessOutcome {
+        &self.outcome
+    }
+}
+
+/// A die-stacked DRAM cache organization.
+///
+/// Implementations own all their metadata (tags, predictors, replacement
+/// state) but share the DRAM devices through [`MemPorts`], so different
+/// designs are directly comparable under identical memory substrates.
+pub trait DramCacheModel {
+    /// Display name used in reports ("Unison", "Alloy", …).
+    fn name(&self) -> &'static str;
+
+    /// Nominal capacity in bytes of stacked DRAM managed by the design.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Serves one request arriving at absolute time `now`.
+    fn access(&mut self, now: Ps, req: &Request, mem: &mut MemPorts) -> CacheAccess;
+
+    /// Statistics accumulated since the last [`Self::reset_stats`].
+    fn stats(&self) -> &CacheStats;
+
+    /// Clears statistics (warmup boundary) without touching cache state.
+    fn reset_stats(&mut self);
+}
+
+impl DramCacheModel for Box<dyn DramCacheModel> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn capacity_bytes(&self) -> u64 {
+        (**self).capacity_bytes()
+    }
+    fn access(&mut self, now: Ps, req: &Request, mem: &mut MemPorts) -> CacheAccess {
+        (**self).access(now, req, mem)
+    }
+    fn stats(&self) -> &CacheStats {
+        (**self).stats()
+    }
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_access_hit_mirrors_outcome() {
+        let a = CacheAccess {
+            outcome: AccessOutcome::Hit,
+            critical_ps: 10,
+            done_ps: 20,
+        };
+        assert!(a.hit());
+        assert!(a.is_hit()); // via Deref
+        let m = CacheAccess {
+            outcome: AccessOutcome::TriggerMiss,
+            critical_ps: 10,
+            done_ps: 20,
+        };
+        assert!(!m.hit());
+    }
+}

@@ -1,0 +1,136 @@
+//! The no-DRAM-cache baseline: every access goes off-chip.
+//!
+//! This is the implicit speedup-1.0 baseline of Figures 7 and 8 — a
+//! system whose post-L2 misses are served directly by the DDR3 channel.
+
+use unison_dram::{cpu_cycles_to_ps, Op, Ps};
+
+use crate::model::{CacheAccess, DramCacheModel};
+use crate::ports::MemPorts;
+use crate::stats::CacheStats;
+use crate::types::{AccessOutcome, Request, BLOCK_BYTES};
+
+/// The uncached baseline. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct NoCache {
+    stats: CacheStats,
+}
+
+impl NoCache {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        NoCache::default()
+    }
+}
+
+impl DramCacheModel for NoCache {
+    fn name(&self) -> &'static str {
+        "NoCache"
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        0
+    }
+
+    fn access(&mut self, now: Ps, req: &Request, mem: &mut MemPorts) -> CacheAccess {
+        self.stats.accesses += 1;
+        self.stats.block_misses += 1;
+        let t0 = now + cpu_cycles_to_ps(1);
+        let op = if req.is_write { Op::Write } else { Op::Read };
+        let c = mem
+            .offchip
+            .access_addr(t0, op, req.block_addr(), BLOCK_BYTES as u32);
+        match op {
+            Op::Read => self.stats.offchip_read_bytes += BLOCK_BYTES,
+            Op::Write => self.stats.offchip_write_bytes += BLOCK_BYTES,
+        }
+        let access = CacheAccess {
+            outcome: AccessOutcome::BlockMiss,
+            critical_ps: c.first_data_ps,
+            done_ps: c.last_data_ps,
+        };
+        self.stats.critical_latency_sum_ps += access.critical_ps.saturating_sub(now);
+        access
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+impl Request {
+    /// 64 B-aligned address of this request (local helper for the
+    /// off-chip path).
+    pub(crate) fn block_addr(&self) -> u64 {
+        self.addr & !(BLOCK_BYTES - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_hits_and_only_uses_offchip() {
+        let mut n = NoCache::new();
+        let mut mem = MemPorts::paper_default();
+        let mut t = 0;
+        for i in 0..50u64 {
+            let a = n.access(
+                t,
+                &Request {
+                    core: 0,
+                    pc: 0,
+                    addr: i * 64,
+                    is_write: i % 2 == 0,
+                },
+                &mut mem,
+            );
+            assert_eq!(a.outcome, AccessOutcome::BlockMiss);
+            t = a.done_ps;
+        }
+        assert_eq!(n.stats().hits, 0);
+        assert_eq!(n.stats().miss_ratio(), 1.0);
+        assert_eq!(n.stats().stacked_read_bytes, 0);
+        assert_eq!(n.stats().offchip_bytes(), 50 * 64);
+    }
+
+    #[test]
+    fn offchip_latency_exceeds_stacked() {
+        // Sanity: the uncached path must be slower than an ideal stacked
+        // access, otherwise no cache design could ever win.
+        let mut n = NoCache::new();
+        let mut mem1 = MemPorts::paper_default();
+        let miss = n
+            .access(
+                0,
+                &Request {
+                    core: 0,
+                    pc: 0,
+                    addr: 0,
+                    is_write: false,
+                },
+                &mut mem1,
+            )
+            .critical_ps;
+        let mut ideal = crate::ideal::IdealCache::new(1 << 30);
+        let mut mem2 = MemPorts::paper_default();
+        let hit = ideal
+            .access(
+                0,
+                &Request {
+                    core: 0,
+                    pc: 0,
+                    addr: 0,
+                    is_write: false,
+                },
+                &mut mem2,
+            )
+            .critical_ps;
+        assert!(miss > hit, "off-chip {miss} ps vs stacked {hit} ps");
+    }
+}

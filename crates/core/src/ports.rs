@@ -1,0 +1,64 @@
+//! The shared memory context: one stacked device, one off-chip device.
+
+use unison_dram::{DramConfig, DramModel};
+
+/// The two DRAM devices every cache design operates against.
+///
+/// Sharing one `MemPorts` across a simulation makes bandwidth contention,
+/// row-buffer state, and energy accounting uniform across designs — the
+/// same substrate DRAMSim2 provides in the paper's setup.
+#[derive(Debug, Clone)]
+pub struct MemPorts {
+    /// The die-stacked cache DRAM (Table III "Stacked DRAM").
+    pub stacked: DramModel,
+    /// Off-chip main memory (Table III "Off-chip DRAM").
+    pub offchip: DramModel,
+}
+
+impl MemPorts {
+    /// Builds the Table III pair: 4-channel stacked DRAM and one
+    /// DDR3-1600 channel.
+    pub fn paper_default() -> Self {
+        MemPorts {
+            stacked: DramModel::new(DramConfig::stacked()),
+            offchip: DramModel::new(DramConfig::ddr3_1600()),
+        }
+    }
+
+    /// Builds from explicit device configurations.
+    pub fn new(stacked: DramConfig, offchip: DramConfig) -> Self {
+        MemPorts {
+            stacked: DramModel::new(stacked),
+            offchip: DramModel::new(offchip),
+        }
+    }
+
+    /// Clears statistics and energy on both devices (warmup boundary)
+    /// while preserving timing state.
+    pub fn reset_stats(&mut self) {
+        self.stacked.reset_stats();
+        self.offchip.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_expected_devices() {
+        let p = MemPorts::paper_default();
+        assert_eq!(p.stacked.config().channels, 4);
+        assert_eq!(p.offchip.config().channels, 1);
+    }
+
+    #[test]
+    fn reset_clears_both() {
+        let mut p = MemPorts::paper_default();
+        p.offchip.access_addr(0, unison_dram::Op::Read, 0, 64);
+        p.stacked.access_addr(0, unison_dram::Op::Read, 0, 64);
+        p.reset_stats();
+        assert_eq!(p.offchip.stats().reads, 0);
+        assert_eq!(p.stacked.stats().reads, 0);
+    }
+}

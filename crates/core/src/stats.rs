@@ -1,0 +1,190 @@
+//! Per-design statistics collected during simulation.
+
+use serde::{Deserialize, Serialize};
+use unison_dram::Ps;
+
+/// Everything a cache design records about its own behaviour.
+///
+/// The derived metrics ([`CacheStats::miss_ratio`],
+/// [`CacheStats::fp_accuracy`], …) are exactly the quantities the paper's
+/// tables and figures report; see each method's doc for the mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests served.
+    pub accesses: u64,
+    /// Requests served from stacked DRAM.
+    pub hits: u64,
+    /// Trigger misses (page-based designs: page absent).
+    pub trigger_misses: u64,
+    /// Underprediction misses (page present, block absent).
+    pub underprediction_misses: u64,
+    /// Singleton bypasses (counted as misses; no allocation).
+    pub singleton_bypasses: u64,
+    /// Block misses (block-based designs).
+    pub block_misses: u64,
+
+    /// Pages (or blocks, for Alloy) evicted.
+    pub evictions: u64,
+    /// Dirty blocks written back off-chip.
+    pub writeback_blocks: u64,
+    /// Blocks fetched from off-chip into the cache.
+    pub fill_blocks: u64,
+
+    /// Sum over evicted pages of predicted-footprint sizes.
+    pub fp_predicted_blocks: u64,
+    /// Sum over evicted pages of actual-footprint sizes.
+    pub fp_actual_blocks: u64,
+    /// Sum of `predicted ∩ actual` sizes (correctly predicted blocks).
+    pub fp_covered_blocks: u64,
+    /// Sum of `predicted − actual` sizes (fetched but never demanded).
+    pub fp_over_blocks: u64,
+
+    /// Way-predictor lookups (Unison only).
+    pub wp_lookups: u64,
+    /// Way-predictor correct predictions.
+    pub wp_correct: u64,
+
+    /// Miss-predictor correct predictions (Alloy only).
+    pub mp_correct: u64,
+    /// Hits falsely predicted as misses (wasted off-chip fetch).
+    pub mp_false_miss: u64,
+    /// Misses falsely predicted as hits (lookup added to miss latency).
+    pub mp_false_hit: u64,
+
+    /// Bytes read from off-chip memory.
+    pub offchip_read_bytes: u64,
+    /// Bytes written to off-chip memory.
+    pub offchip_write_bytes: u64,
+    /// Bytes read from stacked DRAM.
+    pub stacked_read_bytes: u64,
+    /// Bytes written to stacked DRAM.
+    pub stacked_write_bytes: u64,
+
+    /// Sum of critical-path latencies over all requests, in picoseconds.
+    pub critical_latency_sum_ps: Ps,
+}
+
+impl CacheStats {
+    /// Total misses of any kind.
+    pub fn misses(&self) -> u64 {
+        self.trigger_misses + self.underprediction_misses + self.singleton_bypasses + self.block_misses
+    }
+
+    /// Miss ratio — the quantity of Figures 5 and 6.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Footprint-predictor accuracy — Table V "FP Accuracy": the fraction
+    /// of each page's actual footprint that was correctly predicted,
+    /// aggregated over evictions.
+    pub fn fp_accuracy(&self) -> f64 {
+        if self.fp_actual_blocks == 0 {
+            0.0
+        } else {
+            self.fp_covered_blocks as f64 / self.fp_actual_blocks as f64
+        }
+    }
+
+    /// Footprint overfetch — Table V "FP Overfetch": the fraction of
+    /// fetched blocks that were never demanded before eviction.
+    pub fn fp_overfetch(&self) -> f64 {
+        if self.fp_predicted_blocks == 0 {
+            0.0
+        } else {
+            self.fp_over_blocks as f64 / self.fp_predicted_blocks as f64
+        }
+    }
+
+    /// Way-predictor accuracy — Table V "WP Accuracy".
+    pub fn wp_accuracy(&self) -> f64 {
+        if self.wp_lookups == 0 {
+            0.0
+        } else {
+            self.wp_correct as f64 / self.wp_lookups as f64
+        }
+    }
+
+    /// Miss-predictor accuracy — Table V "MP Accuracy".
+    pub fn mp_accuracy(&self) -> f64 {
+        let total = self.mp_correct + self.mp_false_miss + self.mp_false_hit;
+        if total == 0 {
+            0.0
+        } else {
+            self.mp_correct as f64 / total as f64
+        }
+    }
+
+    /// Miss-predictor overfetch — Table V "MP Overfetch": hits predicted
+    /// as misses cause one wasted off-chip block fetch each; expressed as
+    /// a fraction of useful off-chip fill traffic.
+    pub fn mp_overfetch(&self) -> f64 {
+        if self.fill_blocks == 0 {
+            0.0
+        } else {
+            self.mp_false_miss as f64 / self.fill_blocks as f64
+        }
+    }
+
+    /// Mean critical latency per access in picoseconds.
+    pub fn mean_latency_ps(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.critical_latency_sum_ps as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total off-chip traffic in bytes (the bandwidth the designs try to
+    /// conserve).
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip_read_bytes + self.offchip_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.fp_accuracy(), 0.0);
+        assert_eq!(s.wp_accuracy(), 0.0);
+        assert_eq!(s.mp_accuracy(), 0.0);
+        assert_eq!(s.mean_latency_ps(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_counts_all_miss_kinds() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 6,
+            trigger_misses: 1,
+            underprediction_misses: 1,
+            singleton_bypasses: 1,
+            block_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.misses(), 4);
+        assert!((s.miss_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_metrics_follow_definitions() {
+        let s = CacheStats {
+            fp_predicted_blocks: 100,
+            fp_actual_blocks: 80,
+            fp_covered_blocks: 72,
+            fp_over_blocks: 28,
+            ..Default::default()
+        };
+        assert!((s.fp_accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.fp_overfetch() - 0.28).abs() < 1e-12);
+    }
+}

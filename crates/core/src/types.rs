@@ -1,0 +1,81 @@
+//! Shared vocabulary for the cache designs.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache block size, fixed at 64 bytes throughout the paper.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// One post-L2 memory request presented to a DRAM cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing core.
+    pub core: u8,
+    /// Program counter of the triggering instruction.
+    pub pc: u64,
+    /// Physical byte address.
+    pub addr: u64,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+impl Request {
+    /// Global 64 B block number of this request.
+    pub fn block_number(&self) -> u64 {
+        self.addr / BLOCK_BYTES
+    }
+}
+
+/// How a DRAM cache resolved a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// Block present; served from the stacked DRAM.
+    Hit,
+    /// Page present but the requested block wasn't fetched — a footprint
+    /// *underprediction* (§III-A.3). Served from off-chip memory and
+    /// filled.
+    UnderpredictionMiss,
+    /// Page absent — a *trigger* miss that allocates a new page.
+    TriggerMiss,
+    /// Page absent and predicted to be a singleton: block forwarded from
+    /// off-chip memory without allocating (§III-A.4).
+    SingletonBypass,
+    /// Block absent in a block-based cache (Alloy) or any miss in a
+    /// design without pages.
+    BlockMiss,
+}
+
+impl AccessOutcome {
+    /// True if the demanded data was served from the stacked DRAM.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_number_divides_address() {
+        let r = Request {
+            core: 0,
+            pc: 0,
+            addr: 6400 + 63,
+            is_write: false,
+        };
+        assert_eq!(r.block_number(), 100);
+    }
+
+    #[test]
+    fn only_hit_is_hit() {
+        assert!(AccessOutcome::Hit.is_hit());
+        for o in [
+            AccessOutcome::UnderpredictionMiss,
+            AccessOutcome::TriggerMiss,
+            AccessOutcome::SingletonBypass,
+            AccessOutcome::BlockMiss,
+        ] {
+            assert!(!o.is_hit());
+        }
+    }
+}

@@ -1,0 +1,964 @@
+//! Unison Cache — the paper's contribution (§III).
+//!
+//! A page-based, set-associative stacked-DRAM cache with:
+//!
+//! * **in-DRAM tags** (one tag per page, stored at the head of each DRAM
+//!   row — Figures 2–3) so no SRAM tag array is needed at any capacity;
+//! * **overlapped tag + data reads**: the 32 B set-metadata read and the
+//!   64 B data read of the *predicted way* issue back-to-back to the same
+//!   row, so a hit costs roughly one DRAM access plus two CPU cycles of
+//!   metadata transfer (§III-A);
+//! * **way prediction** (§III-A.6) to make 4-way associativity free in
+//!   latency and bandwidth;
+//! * **footprint prediction** (§III-A.1–3) to fetch only the blocks a
+//!   page will actually use, and **singleton bypass** (§III-A.4) to avoid
+//!   wasting a page frame on one-block footprints;
+//! * **residue-arithmetic address mapping** (§III-A.7) for the
+//!   non-power-of-two 960 B / 1984 B page sizes.
+
+use serde::{Deserialize, Serialize};
+use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
+use unison_predictors::{Footprint, FootprintTable, SingletonEntry, SingletonTable, WayPredictor};
+
+use crate::layout::{unison_tag_read_bytes, UnisonRowLayout, ROW_BYTES};
+use crate::model::{CacheAccess, DramCacheModel};
+use crate::ports::MemPorts;
+use crate::residue::split_page_offset;
+use crate::stats::CacheStats;
+use crate::types::{AccessOutcome, Request, BLOCK_BYTES};
+
+/// How the cache locates the correct way of a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WayPolicy {
+    /// The paper's design: predict one way, read it alongside the tags.
+    Predict,
+    /// Ablation: read *all* ways alongside the tags (no predictor) — the
+    /// "vast data overfetch" alternative §III-A.5 rejects.
+    ParallelFetch,
+    /// Ablation: read tags first, then the correct way — the
+    /// "tags-then-data serialization" alternative §III-A.5 rejects.
+    SerialTagData,
+}
+
+/// Configuration of a [`UnisonCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnisonConfig {
+    /// Stacked-DRAM capacity managed by the cache, in bytes.
+    pub cache_bytes: u64,
+    /// Blocks per page: 15 (960 B pages) or 31 (1984 B). Must be
+    /// `2^n − 1` for the residue mapper.
+    pub page_blocks: u32,
+    /// Set associativity (1, 4, or 32 in the paper's experiments).
+    pub assoc: u32,
+    /// Way-location policy (the paper uses prediction).
+    pub way_policy: WayPolicy,
+    /// Fixed cache-controller overhead per request, in CPU cycles
+    /// (request routing and the residue unit; the paper overlaps the
+    /// residue computation with the L2 access, so this stays small).
+    pub ctrl_overhead_cycles: u64,
+    /// Capacity used for the way-predictor sizing rule (12-bit hash up
+    /// to 4 GB, 16-bit above — §III-A.6). Defaults to `cache_bytes`;
+    /// scaled experiment runs set the nominal paper-labeled size.
+    pub nominal_bytes: u64,
+}
+
+impl UnisonConfig {
+    /// The paper's default organization: 960 B pages, 4-way, way
+    /// prediction (§IV-C.1).
+    pub fn new(cache_bytes: u64) -> Self {
+        UnisonConfig {
+            cache_bytes,
+            page_blocks: 15,
+            assoc: 4,
+            way_policy: WayPolicy::Predict,
+            ctrl_overhead_cycles: 2,
+            nominal_bytes: cache_bytes,
+        }
+    }
+
+    /// Overrides the size used for the way-predictor sizing rule.
+    #[must_use]
+    pub fn with_nominal(mut self, nominal_bytes: u64) -> Self {
+        self.nominal_bytes = nominal_bytes;
+        self
+    }
+
+    /// The 1984 B-page variant evaluated in Table V.
+    pub fn large_pages(cache_bytes: u64) -> Self {
+        UnisonConfig {
+            page_blocks: 31,
+            ..UnisonConfig::new(cache_bytes)
+        }
+    }
+
+    /// Same organization with a different associativity (Figure 5).
+    #[must_use]
+    pub fn with_assoc(mut self, assoc: u32) -> Self {
+        self.assoc = assoc;
+        self
+    }
+
+    /// Same organization with a different way policy (ablations).
+    #[must_use]
+    pub fn with_way_policy(mut self, policy: WayPolicy) -> Self {
+        self.way_policy = policy;
+        self
+    }
+
+    fn digit_bits(&self) -> u32 {
+        // page_blocks = 2^n - 1  =>  n = trailing ones.
+        (self.page_blocks + 1).trailing_zeros()
+    }
+}
+
+/// Metadata for one cached page. Block sets are bit masks over the page's
+/// blocks, using the paper's re-encoded valid/dirty state (§III-A.2):
+/// `present` = data valid in cache, `demanded` = demanded by the CPU at
+/// least once (vs. merely prefetched), `dirty` = modified.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageEntry {
+    valid: bool,
+    tag: u64,
+    present: u32,
+    demanded: u32,
+    dirty: u32,
+    /// What the footprint fetch installed (measurement state mirroring
+    /// `present` at install time; hardware derives this at eviction from
+    /// the encoded block states).
+    predicted: u32,
+    pc: u64,
+    offset: u8,
+    lru: u8,
+}
+
+/// The Unison Cache design. See the [module docs](self) for the feature
+/// inventory and the paper-section mapping.
+#[derive(Debug, Clone)]
+pub struct UnisonCache {
+    cfg: UnisonConfig,
+    layout: UnisonRowLayout,
+    num_sets: u64,
+    entries: Vec<PageEntry>,
+    fp_table: FootprintTable,
+    singletons: SingletonTable,
+    wp: WayPredictor,
+    stats: CacheStats,
+}
+
+impl UnisonCache {
+    /// Builds the cache with paper-default predictor geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_blocks` is not of the form `2^n − 1`, or the
+    /// geometry yields zero sets.
+    pub fn new(cfg: UnisonConfig) -> Self {
+        assert!(
+            (cfg.page_blocks + 1).is_power_of_two(),
+            "page_blocks must be 2^n - 1 for the residue mapper"
+        );
+        assert!(cfg.assoc >= 1, "associativity must be at least 1");
+        let layout = UnisonRowLayout::new(cfg.page_blocks, cfg.assoc);
+        let num_sets = layout.num_sets(cfg.cache_bytes);
+        assert!(num_sets > 0, "cache too small for even one set");
+        let entries = vec![PageEntry::default(); (num_sets * u64::from(cfg.assoc)) as usize];
+        UnisonCache {
+            layout,
+            num_sets,
+            entries,
+            fp_table: FootprintTable::paper_default(cfg.page_blocks),
+            singletons: SingletonTable::paper_default(),
+            // 2-bit entries hold at most 4 ways; larger associativities
+            // (the Figure 5 hypothetical) degrade to way 0 prediction.
+            wp: WayPredictor::for_cache_size(cfg.nominal_bytes, cfg.assoc.min(4)),
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &UnisonConfig {
+        &self.cfg
+    }
+
+    /// The derived row layout.
+    pub fn layout(&self) -> &UnisonRowLayout {
+        &self.layout
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    fn set_of(&self, page: u64) -> u64 {
+        page % self.num_sets
+    }
+
+    fn tag_of(&self, page: u64) -> u64 {
+        page / self.num_sets
+    }
+
+    /// Stacked-DRAM location of a set's metadata region.
+    fn meta_loc(&self, set: u64) -> RowCol {
+        if self.layout.sets_per_row > 0 {
+            let spr = u64::from(self.layout.sets_per_row);
+            let row = set / spr;
+            let slot = (set % spr) as u32;
+            RowCol::new(row, slot * 16 * self.cfg.assoc)
+        } else {
+            // Hypothetical multi-row sets (32-way, Figure 5): timing is
+            // approximated by addressing the set's first row.
+            RowCol::new(set, 0)
+        }
+    }
+
+    /// Stacked-DRAM location of a block within a way of a set.
+    fn data_loc(&self, set: u64, way: u32, block: u32) -> RowCol {
+        if self.layout.sets_per_row > 0 {
+            let spr = u64::from(self.layout.sets_per_row);
+            let row = set / spr;
+            let slot = (set % spr) as u32;
+            let meta_total = 16 * self.cfg.assoc * self.layout.sets_per_row;
+            let page_idx = slot * self.cfg.assoc + way;
+            let col = meta_total
+                + page_idx * self.layout.page_bytes() as u32
+                + block * BLOCK_BYTES as u32;
+            debug_assert!(u64::from(col) + BLOCK_BYTES <= ROW_BYTES);
+            RowCol::new(row, col)
+        } else {
+            let col = (u64::from(way % self.layout.pages_per_row) * self.layout.page_bytes()
+                + u64::from(block) * BLOCK_BYTES)
+                % (ROW_BYTES - BLOCK_BYTES);
+            RowCol::new(set, col as u32)
+        }
+    }
+
+    fn entry(&self, set: u64, way: u32) -> &PageEntry {
+        &self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
+    }
+
+    fn entry_mut(&mut self, set: u64, way: u32) -> &mut PageEntry {
+        &mut self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
+    }
+
+    fn find_way(&self, set: u64, tag: u64) -> Option<u32> {
+        (0..self.cfg.assoc).find(|&w| {
+            let e = self.entry(set, w);
+            e.valid && e.tag == tag
+        })
+    }
+
+    fn touch_lru(&mut self, set: u64, used_way: u32) {
+        for w in 0..self.cfg.assoc {
+            let e = self.entry_mut(set, w);
+            if w == used_way {
+                e.lru = 0;
+            } else {
+                e.lru = e.lru.saturating_add(1);
+            }
+        }
+    }
+
+    fn victim_way(&self, set: u64) -> u32 {
+        (0..self.cfg.assoc)
+            .find(|&w| !self.entry(set, w).valid)
+            .unwrap_or_else(|| {
+                (0..self.cfg.assoc)
+                    .max_by_key(|&w| self.entry(set, w).lru)
+                    .expect("assoc >= 1")
+            })
+    }
+
+    /// Physical byte address of `block` within `page`.
+    fn block_phys_addr(&self, page: u64, block: u32) -> u64 {
+        (page * u64::from(self.cfg.page_blocks) + u64::from(block)) * BLOCK_BYTES
+    }
+
+    /// Evicts the page in (set, way), writing back dirty blocks and
+    /// training the footprint predictor with the observed footprint.
+    /// Returns the time the eviction traffic completes.
+    fn evict(&mut self, now: Ps, set: u64, way: u32, mem: &mut MemPorts) -> Ps {
+        let e = *self.entry(set, way);
+        debug_assert!(e.valid);
+        let victim_page = e.tag * self.num_sets + set;
+        let mut done = now;
+
+        // The (PC, offset) pair and bit vectors are read from the row at
+        // eviction (§III-A.6): one small metadata read, typically a row
+        // buffer hit.
+        let meta = mem.stacked.access(now, Op::Read, self.meta_loc(set), 8);
+        done = done.max(meta.last_data_ps);
+        self.stats.stacked_read_bytes += 8;
+
+        // Dirty blocks: read out of the cache row, write back off-chip.
+        let dirty = Footprint::from_mask(u64::from(e.dirty), self.cfg.page_blocks);
+        for b in dirty.iter() {
+            let rd = mem
+                .stacked
+                .access(meta.last_data_ps, Op::Read, self.data_loc(set, way, b), BLOCK_BYTES as u32);
+            let wr = mem.offchip.access_addr(
+                rd.last_data_ps,
+                Op::Write,
+                self.block_phys_addr(victim_page, b),
+                BLOCK_BYTES as u32,
+            );
+            done = done.max(wr.last_data_ps);
+            self.stats.stacked_read_bytes += BLOCK_BYTES;
+            self.stats.offchip_write_bytes += BLOCK_BYTES;
+            self.stats.writeback_blocks += 1;
+        }
+
+        // Train the footprint predictor with the actual footprint and
+        // record the prediction-quality accounting (Table V).
+        let actual = Footprint::from_mask(u64::from(e.demanded), self.cfg.page_blocks);
+        let predicted = Footprint::from_mask(u64::from(e.predicted), self.cfg.page_blocks);
+        self.stats.fp_predicted_blocks += u64::from(predicted.len());
+        self.stats.fp_actual_blocks += u64::from(actual.len());
+        self.stats.fp_covered_blocks += u64::from(predicted.intersect(&actual).len());
+        self.stats.fp_over_blocks += u64::from(predicted.minus(&actual).len());
+        if !actual.is_empty() {
+            self.fp_table.train(e.pc, u32::from(e.offset), actual);
+        }
+        self.stats.evictions += 1;
+
+        self.entry_mut(set, way).valid = false;
+        done
+    }
+
+    /// Fetches `mask` from off-chip memory into (set, way), critical
+    /// (trigger) block first. Returns `(critical_ready, all_done)`.
+    fn fetch_footprint(
+        &mut self,
+        now: Ps,
+        page: u64,
+        set: u64,
+        way: u32,
+        trigger: u32,
+        mask: Footprint,
+        mem: &mut MemPorts,
+    ) -> (Ps, Ps) {
+        debug_assert!(mask.contains(trigger));
+        let crit = mem.offchip.access_addr(
+            now,
+            Op::Read,
+            self.block_phys_addr(page, trigger),
+            BLOCK_BYTES as u32,
+        );
+        self.stats.offchip_read_bytes += BLOCK_BYTES;
+        let fill = mem.stacked.access(
+            crit.last_data_ps,
+            Op::Write,
+            self.data_loc(set, way, trigger),
+            BLOCK_BYTES as u32,
+        );
+        self.stats.stacked_write_bytes += BLOCK_BYTES;
+        self.stats.fill_blocks += 1;
+        let mut done = fill.last_data_ps;
+
+        for b in mask.iter().filter(|&b| b != trigger) {
+            let rd = mem.offchip.access_addr(
+                now,
+                Op::Read,
+                self.block_phys_addr(page, b),
+                BLOCK_BYTES as u32,
+            );
+            let wr = mem.stacked.access(
+                rd.last_data_ps,
+                Op::Write,
+                self.data_loc(set, way, b),
+                BLOCK_BYTES as u32,
+            );
+            self.stats.offchip_read_bytes += BLOCK_BYTES;
+            self.stats.stacked_write_bytes += BLOCK_BYTES;
+            self.stats.fill_blocks += 1;
+            done = done.max(wr.last_data_ps);
+        }
+        (crit.first_data_ps, done)
+    }
+}
+
+impl DramCacheModel for UnisonCache {
+    fn name(&self) -> &'static str {
+        "Unison"
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cfg.cache_bytes
+    }
+
+    fn access(&mut self, now: Ps, req: &Request, mem: &mut MemPorts) -> CacheAccess {
+        self.stats.accesses += 1;
+        let t0 = now + cpu_cycles_to_ps(self.cfg.ctrl_overhead_cycles);
+        let (page, offset) = split_page_offset(req.block_number(), self.cfg.digit_bits());
+        let set = self.set_of(page);
+        let tag = self.tag_of(page);
+
+        // Way prediction happens in the DRAM controller, off the critical
+        // path (§III-A.6).
+        let predicted_way = match self.cfg.way_policy {
+            WayPolicy::Predict => self.wp.predict(page),
+            WayPolicy::ParallelFetch | WayPolicy::SerialTagData => 0,
+        };
+
+        // Metadata read: the tags + bit vectors of all ways (32 B for
+        // 4 ways), always issued.
+        let meta = mem.stacked.access(
+            t0,
+            Op::Read,
+            self.meta_loc(set),
+            unison_tag_read_bytes(self.cfg.assoc.min(self.layout.pages_per_row)),
+        );
+        self.stats.stacked_read_bytes += u64::from(unison_tag_read_bytes(self.cfg.assoc));
+        let tag_known = meta.last_data_ps + cpu_cycles_to_ps(1); // tag compare
+
+        // The overlapped data read(s), per way policy.
+        let mut speculative_read_done = 0;
+        match self.cfg.way_policy {
+            WayPolicy::Predict => {
+                let d = mem.stacked.access(
+                    t0,
+                    Op::Read,
+                    self.data_loc(set, predicted_way, offset),
+                    BLOCK_BYTES as u32,
+                );
+                self.stats.stacked_read_bytes += BLOCK_BYTES;
+                speculative_read_done = d.last_data_ps;
+            }
+            WayPolicy::ParallelFetch => {
+                for w in 0..self.cfg.assoc.min(self.layout.pages_per_row) {
+                    let d = mem.stacked.access(
+                        t0,
+                        Op::Read,
+                        self.data_loc(set, w, offset),
+                        BLOCK_BYTES as u32,
+                    );
+                    self.stats.stacked_read_bytes += BLOCK_BYTES;
+                    speculative_read_done = speculative_read_done.max(d.last_data_ps);
+                }
+            }
+            WayPolicy::SerialTagData => {} // data read issued after tags
+        }
+
+        let found = self.find_way(set, tag);
+
+        // Way-predictor bookkeeping: accuracy is defined over accesses to
+        // resident pages (a prediction is "correct" when the page is
+        // found in the predicted way).
+        if matches!(self.cfg.way_policy, WayPolicy::Predict) {
+            if let Some(w) = found {
+                self.stats.wp_lookups += 1;
+                if w == predicted_way {
+                    self.stats.wp_correct += 1;
+                }
+                self.wp.update(page, w.min(3));
+            }
+        }
+
+        let access = match found {
+            Some(way) => {
+                let e = *self.entry(set, way);
+                let block_bit = 1u32 << offset;
+                if e.present & block_bit != 0 {
+                    // ---- HIT ----
+                    let data_ready = match self.cfg.way_policy {
+                        WayPolicy::Predict => {
+                            if way == predicted_way {
+                                speculative_read_done.max(tag_known)
+                            } else {
+                                // Mispredict: re-read the correct way; the
+                                // row is open, so this is a cheap row hit.
+                                let d = mem.stacked.access(
+                                    tag_known,
+                                    Op::Read,
+                                    self.data_loc(set, way, offset),
+                                    BLOCK_BYTES as u32,
+                                );
+                                self.stats.stacked_read_bytes += BLOCK_BYTES;
+                                d.last_data_ps
+                            }
+                        }
+                        WayPolicy::ParallelFetch => speculative_read_done.max(tag_known),
+                        WayPolicy::SerialTagData => {
+                            let d = mem.stacked.access(
+                                tag_known,
+                                Op::Read,
+                                self.data_loc(set, way, offset),
+                                BLOCK_BYTES as u32,
+                            );
+                            self.stats.stacked_read_bytes += BLOCK_BYTES;
+                            d.last_data_ps
+                        }
+                    };
+                    let mut meta_dirty = false;
+                    {
+                        let e = self.entry_mut(set, way);
+                        if e.demanded & block_bit == 0 {
+                            e.demanded |= block_bit;
+                            meta_dirty = true;
+                        }
+                        if req.is_write && e.dirty & block_bit == 0 {
+                            e.dirty |= block_bit;
+                            meta_dirty = true;
+                        }
+                    }
+                    let mut done = data_ready;
+                    if req.is_write {
+                        // Store data into the row (background).
+                        let w = mem.stacked.access(
+                            data_ready,
+                            Op::Write,
+                            self.data_loc(set, way, offset),
+                            BLOCK_BYTES as u32,
+                        );
+                        self.stats.stacked_write_bytes += BLOCK_BYTES;
+                        done = done.max(w.last_data_ps);
+                    }
+                    if meta_dirty {
+                        // Bit-vector update: coalesced in the controller's
+                        // write queue and drained opportunistically, so it
+                        // is charged as traffic but not as a timed access
+                        // (an immediate write would charge a spurious
+                        // write-to-read turnaround on every hit).
+                        self.stats.stacked_write_bytes += 8;
+                    }
+                    self.stats.hits += 1;
+                    CacheAccess {
+                        outcome: AccessOutcome::Hit,
+                        critical_ps: data_ready,
+                        done_ps: done,
+                    }
+                } else {
+                    // ---- UNDERPREDICTION MISS ---- (§III-A.3: page
+                    // resident, block missing; fetch just the block).
+                    let oc = mem.offchip.access_addr(
+                        tag_known,
+                        Op::Read,
+                        self.block_phys_addr(page, offset),
+                        BLOCK_BYTES as u32,
+                    );
+                    self.stats.offchip_read_bytes += BLOCK_BYTES;
+                    let fill = mem.stacked.access(
+                        oc.last_data_ps,
+                        Op::Write,
+                        self.data_loc(set, way, offset),
+                        BLOCK_BYTES as u32,
+                    );
+                    self.stats.stacked_write_bytes += BLOCK_BYTES;
+                    self.stats.fill_blocks += 1;
+                    // Bit-vector update rides the write queue (see hit path).
+                    self.stats.stacked_write_bytes += 8;
+                    {
+                        let e = self.entry_mut(set, way);
+                        e.present |= block_bit;
+                        e.demanded |= block_bit;
+                        if req.is_write {
+                            e.dirty |= block_bit;
+                        }
+                    }
+                    self.stats.underprediction_misses += 1;
+                    CacheAccess {
+                        outcome: AccessOutcome::UnderpredictionMiss,
+                        critical_ps: oc.first_data_ps,
+                        done_ps: fill.last_data_ps,
+                    }
+                }
+            }
+            None => {
+                // ---- TRIGGER MISS ---- (§III-A.3/4).
+                // Singleton-table correction: a previously bypassed page
+                // touched at a *different* block was not a singleton.
+                let singleton_info = self.singletons.lookup(page);
+                let corrected = match singleton_info {
+                    Some(s) if s.block != offset => {
+                        let mut fp = Footprint::single(s.block, self.cfg.page_blocks);
+                        fp.insert(offset);
+                        self.fp_table.train(s.pc, s.offset, fp);
+                        self.singletons.remove(page);
+                        Some(fp)
+                    }
+                    _ => None,
+                };
+
+                let predicted_fp = corrected.or_else(|| self.fp_table.predict(req.pc, offset));
+                let is_singleton_pred = corrected.is_none()
+                    && predicted_fp.map(|f| f.is_singleton()).unwrap_or(false);
+
+                if is_singleton_pred {
+                    // Bypass: forward the block, allocate nothing.
+                    let oc = mem.offchip.access_addr(
+                        tag_known,
+                        Op::Read,
+                        self.block_phys_addr(page, offset),
+                        BLOCK_BYTES as u32,
+                    );
+                    self.stats.offchip_read_bytes += BLOCK_BYTES;
+                    self.singletons.insert(SingletonEntry {
+                        pc: req.pc,
+                        offset,
+                        page,
+                        block: offset,
+                    });
+                    self.stats.singleton_bypasses += 1;
+                    CacheAccess {
+                        outcome: AccessOutcome::SingletonBypass,
+                        critical_ps: oc.first_data_ps,
+                        done_ps: oc.last_data_ps,
+                    }
+                } else {
+                    // Allocate: evict the LRU way, fetch the footprint.
+                    let way = self.victim_way(set);
+                    let mut evict_done = tag_known;
+                    if self.entry(set, way).valid {
+                        evict_done = self.evict(tag_known, set, way, mem);
+                    }
+                    // No history => conservative full-page default.
+                    let mut fetch = predicted_fp
+                        .unwrap_or_else(|| Footprint::full(self.cfg.page_blocks));
+                    fetch.insert(offset);
+
+                    let (crit, fill_done) =
+                        self.fetch_footprint(tag_known, page, set, way, offset, fetch, mem);
+
+                    // Install metadata (tag, bit vectors, PC+offset): one
+                    // 16 B write riding the write queue with the fills.
+                    self.stats.stacked_write_bytes += 16;
+
+                    let block_bit = 1u32 << offset;
+                    *self.entry_mut(set, way) = PageEntry {
+                        valid: true,
+                        tag,
+                        present: fetch.mask() as u32,
+                        demanded: block_bit,
+                        dirty: if req.is_write { block_bit } else { 0 },
+                        predicted: fetch.mask() as u32,
+                        pc: req.pc,
+                        offset: offset as u8,
+                        lru: 0,
+                    };
+                    if matches!(self.cfg.way_policy, WayPolicy::Predict) {
+                        self.wp.update(page, way.min(3));
+                    }
+                    self.touch_lru(set, way);
+                    self.stats.trigger_misses += 1;
+                    return self.finish(now, CacheAccess {
+                        outcome: AccessOutcome::TriggerMiss,
+                        critical_ps: crit,
+                        done_ps: fill_done.max(evict_done),
+                    });
+                }
+            }
+        };
+
+        if let Some(way) = found {
+            self.touch_lru(set, way);
+        }
+        self.finish(now, access)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.wp.reset_stats();
+    }
+}
+
+impl UnisonCache {
+    fn finish(&mut self, now: Ps, a: CacheAccess) -> CacheAccess {
+        self.stats.critical_latency_sum_ps += a.critical_ps.saturating_sub(now);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> (UnisonCache, MemPorts) {
+        // 1 MB cache: 128 rows, 256 sets of 4 ways.
+        (
+            UnisonCache::new(UnisonConfig::new(1 << 20)),
+            MemPorts::paper_default(),
+        )
+    }
+
+    fn read(addr: u64) -> Request {
+        Request {
+            core: 0,
+            pc: 0x400,
+            addr,
+            is_write: false,
+        }
+    }
+
+    fn write(addr: u64) -> Request {
+        Request {
+            core: 0,
+            pc: 0x400,
+            addr,
+            is_write: true,
+        }
+    }
+
+    #[test]
+    fn cold_access_is_trigger_miss_then_hit() {
+        let (mut uc, mut mem) = small_cache();
+        let a1 = uc.access(0, &read(0x10000), &mut mem);
+        assert_eq!(a1.outcome, AccessOutcome::TriggerMiss);
+        let a2 = uc.access(a1.done_ps, &read(0x10000), &mut mem);
+        assert_eq!(a2.outcome, AccessOutcome::Hit);
+        assert_eq!(uc.stats().hits, 1);
+        assert_eq!(uc.stats().trigger_misses, 1);
+    }
+
+    #[test]
+    fn full_page_default_makes_neighbors_hit() {
+        // With no footprint history the whole page is fetched, so a
+        // different block of the same page hits.
+        let (mut uc, mut mem) = small_cache();
+        let a1 = uc.access(0, &read(0), &mut mem);
+        assert_eq!(a1.outcome, AccessOutcome::TriggerMiss);
+        let a2 = uc.access(a1.done_ps, &read(5 * 64), &mut mem);
+        assert_eq!(a2.outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn hit_latency_well_below_miss_latency() {
+        let (mut uc, mut mem) = small_cache();
+        let a1 = uc.access(0, &read(0x40000), &mut mem);
+        let t = a1.done_ps + 1_000_000;
+        let a2 = uc.access(t, &read(0x40000), &mut mem);
+        let miss_lat = a1.critical_ps;
+        let hit_lat = a2.critical_ps - t;
+        assert!(
+            hit_lat * 2 < miss_lat,
+            "hit {hit_lat} ps should be far below miss {miss_lat} ps"
+        );
+    }
+
+    #[test]
+    fn hit_latency_is_about_60_cpu_cycles() {
+        // §V.B: "~60 cycles it takes to access DRAM". Cold-bank hit:
+        // ACT + CAS + burst + 2 cycles tags + compare + ctrl.
+        let (mut uc, mut mem) = small_cache();
+        let a1 = uc.access(0, &read(0x40000), &mut mem);
+        let t = a1.done_ps + 10_000_000; // bank long precharged? rows stay open; fine
+        let a2 = uc.access(t, &read(0x40000), &mut mem);
+        let hit_cycles = unison_dram::ps_to_cpu_cycles(a2.critical_ps - t);
+        assert!(
+            (20..=90).contains(&hit_cycles),
+            "hit latency {hit_cycles} cycles out of plausible range"
+        );
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        // Fill one set's 4 ways plus one more page mapping to the same
+        // set; the LRU victim's dirty blocks must be written back.
+        let (mut uc, mut mem) = small_cache();
+        let sets = uc.num_sets();
+        let page_bytes = 960u64;
+        // Pages that map to set 0: page = k * sets.
+        let mut t = 0;
+        let a = uc.access(t, &write(0), &mut mem);
+        t = a.done_ps;
+        for k in 1..=4u64 {
+            let addr = k * sets * page_bytes;
+            let a = uc.access(t, &read(addr), &mut mem);
+            t = a.done_ps;
+        }
+        assert!(uc.stats().evictions >= 1);
+        assert!(uc.stats().writeback_blocks >= 1);
+        assert!(uc.stats().offchip_write_bytes >= 64);
+    }
+
+    #[test]
+    fn footprint_is_learned_after_eviction() {
+        // Touch two blocks of a page, evict it, then re-trigger with the
+        // same PC/offset: only those two blocks should be fetched.
+        let (mut uc, mut mem) = small_cache();
+        let sets = uc.num_sets();
+        let page_bytes = 960u64;
+        let mut t = 0;
+        // Visit page 0: blocks 2 and 5, trigger offset 2.
+        let a = uc.access(t, &read(2 * 64), &mut mem);
+        t = a.done_ps;
+        let a = uc.access(t, &read(5 * 64), &mut mem);
+        t = a.done_ps;
+        // Evict page 0 by filling set 0 with 4 conflicting pages.
+        for k in 1..=4u64 {
+            let a = uc.access(t, &read(k * sets * page_bytes + 2 * 64), &mut mem);
+            t = a.done_ps;
+        }
+        assert!(uc.stats().evictions >= 1);
+        let fills_before = uc.stats().fill_blocks;
+        // Re-trigger page 0 at offset 2 with the same PC: prediction
+        // should fetch exactly {2, 5}.
+        let a = uc.access(t, &read(2 * 64), &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
+        assert_eq!(uc.stats().fill_blocks - fills_before, 2);
+    }
+
+    #[test]
+    fn singleton_prediction_bypasses_allocation() {
+        let (mut uc, mut mem) = small_cache();
+        let sets = uc.num_sets();
+        let page_bytes = 960u64;
+        let pc_single = 0x9000;
+        let mut t = 0;
+        // Teach the predictor that pc_single touches exactly one block:
+        // visit a page once, then evict it.
+        let touch = Request {
+            core: 0,
+            pc: pc_single,
+            addr: 7 * 64,
+            is_write: false,
+        };
+        let a = uc.access(t, &touch, &mut mem);
+        t = a.done_ps;
+        for k in 1..=4u64 {
+            let a = uc.access(t, &read(k * sets * page_bytes + 7 * 64), &mut mem);
+            t = a.done_ps;
+        }
+        // New page, same (pc, offset=7): should bypass.
+        let fresh = Request {
+            core: 0,
+            pc: pc_single,
+            addr: 10 * sets * page_bytes + 7 * 64,
+            is_write: false,
+        };
+        let a = uc.access(t, &fresh, &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::SingletonBypass);
+        assert_eq!(uc.stats().singleton_bypasses, 1);
+    }
+
+    #[test]
+    fn singleton_correction_promotes_page() {
+        let (mut uc, mut mem) = small_cache();
+        let sets = uc.num_sets();
+        let page_bytes = 960u64;
+        let pc = 0xa000;
+        let mut t = 0;
+        // Teach singleton for (pc, offset 3).
+        let r1 = Request { core: 0, pc, addr: 3 * 64, is_write: false };
+        let a = uc.access(t, &r1, &mut mem);
+        t = a.done_ps;
+        for k in 1..=4u64 {
+            let a = uc.access(t, &read(k * sets * page_bytes + 3 * 64), &mut mem);
+            t = a.done_ps;
+        }
+        // Bypass a fresh page.
+        let base = 20 * sets * page_bytes;
+        let r2 = Request { core: 0, pc, addr: base + 3 * 64, is_write: false };
+        let a = uc.access(t, &r2, &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::SingletonBypass);
+        t = a.done_ps;
+        // Touch a *different* block of the bypassed page: correction
+        // kicks in and the page is allocated this time.
+        let r3 = Request { core: 0, pc, addr: base + 9 * 64, is_write: false };
+        let a = uc.access(t, &r3, &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
+        t = a.done_ps;
+        // Both blocks now resident.
+        let a = uc.access(t, &Request { core: 0, pc, addr: base + 3 * 64, is_write: false }, &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn way_predictor_accuracy_high_on_repeated_pages() {
+        let (mut uc, mut mem) = small_cache();
+        let mut t = 0;
+        // Allocate a page then hammer it.
+        for i in 0..50u64 {
+            let a = uc.access(t, &read((i % 10) * 64), &mut mem);
+            t = a.done_ps;
+        }
+        let s = uc.stats();
+        assert!(s.wp_lookups > 0);
+        assert!(
+            s.wp_accuracy() > 0.9,
+            "repeated-page stream should predict well, got {}",
+            s.wp_accuracy()
+        );
+    }
+
+    #[test]
+    fn direct_mapped_config_works() {
+        let mut uc = UnisonCache::new(UnisonConfig::new(1 << 20).with_assoc(1));
+        let mut mem = MemPorts::paper_default();
+        let a = uc.access(0, &read(0), &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
+        let a = uc.access(a.done_ps, &read(0), &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn thirty_two_way_config_works() {
+        let mut uc = UnisonCache::new(UnisonConfig::new(1 << 20).with_assoc(32));
+        let mut mem = MemPorts::paper_default();
+        let a = uc.access(0, &read(0), &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
+        let a = uc.access(a.done_ps, &read(0), &mut mem);
+        assert_eq!(a.outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn conflicting_pages_coexist_with_associativity() {
+        // Four pages mapping to one set must all be resident in a 4-way
+        // cache (they'd thrash a direct-mapped one).
+        let (mut uc, mut mem) = small_cache();
+        let sets = uc.num_sets();
+        let page_bytes = 960u64;
+        let mut t = 0;
+        for k in 0..4u64 {
+            let a = uc.access(t, &read(k * sets * page_bytes), &mut mem);
+            t = a.done_ps;
+            assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
+        }
+        for k in 0..4u64 {
+            let a = uc.access(t, &read(k * sets * page_bytes), &mut mem);
+            t = a.done_ps;
+            assert_eq!(a.outcome, AccessOutcome::Hit, "page {k} evicted too early");
+        }
+        assert_eq!(uc.stats().evictions, 0);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_and_writes_stacked() {
+        let (mut uc, mut mem) = small_cache();
+        let a = uc.access(0, &read(0x800), &mut mem);
+        let before = uc.stats().stacked_write_bytes;
+        let a2 = uc.access(a.done_ps, &write(0x800), &mut mem);
+        assert_eq!(a2.outcome, AccessOutcome::Hit);
+        assert!(uc.stats().stacked_write_bytes > before);
+    }
+
+    #[test]
+    fn large_page_config_matches_layout() {
+        let uc = UnisonCache::new(UnisonConfig::large_pages(1 << 20));
+        assert_eq!(uc.layout().page_blocks, 31);
+        assert_eq!(uc.layout().blocks_per_row, 124);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let (mut uc, mut mem) = small_cache();
+        let a = uc.access(0, &read(0), &mut mem);
+        uc.reset_stats();
+        assert_eq!(uc.stats().accesses, 0);
+        let a2 = uc.access(a.done_ps, &read(0), &mut mem);
+        assert_eq!(a2.outcome, AccessOutcome::Hit, "contents must survive reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n - 1")]
+    fn bad_page_blocks_panics() {
+        let _ = UnisonCache::new(UnisonConfig {
+            page_blocks: 16,
+            ..UnisonConfig::new(1 << 20)
+        });
+    }
+}

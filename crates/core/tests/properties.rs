@@ -1,0 +1,118 @@
+//! Property-based tests for the cache designs' invariants.
+
+use proptest::prelude::*;
+use unison_core::residue::{mod_2n_minus_1, split_page_offset};
+use unison_core::{
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, MemPorts, Request,
+    UnisonCache, UnisonConfig,
+};
+
+proptest! {
+    /// The residue unit agrees with `%` over the whole address space —
+    /// the §III-A.7 hardware trick is exact.
+    #[test]
+    fn residue_matches_modulo(x in any::<u64>(), n in 1u32..=32) {
+        let m = (1u64 << n) - 1;
+        if m > 1 {
+            prop_assert_eq!(mod_2n_minus_1(x, n), x % m);
+        } else {
+            prop_assert_eq!(mod_2n_minus_1(x, n), 0);
+        }
+    }
+
+    /// Page/offset splitting reconstructs the block number for both
+    /// Unison page sizes.
+    #[test]
+    fn split_reconstructs(bn in any::<u64>(), use_31 in any::<bool>()) {
+        let n = if use_31 { 5 } else { 4 };
+        let blocks = (1u64 << n) - 1;
+        // Avoid the (page * blocks) overflow edge at u64::MAX.
+        let bn = bn % (u64::MAX / 64);
+        let (page, off) = split_page_offset(bn, n);
+        prop_assert!(u64::from(off) < blocks);
+        prop_assert_eq!(page * blocks + u64::from(off), bn);
+    }
+
+    /// After any request sequence, a resident block must hit on
+    /// re-access (inclusion/coherence of the metadata state machine),
+    /// for every design.
+    #[test]
+    fn resident_blocks_hit_on_reaccess(
+        addrs in proptest::collection::vec(0u64..(1 << 24), 1..60),
+    ) {
+        let mut uc = UnisonCache::new(UnisonConfig::new(8 << 20));
+        let mut ac = AlloyCache::new(AlloyConfig::new(8 << 20));
+        let mut fc = FootprintCache::new(FootprintConfig::new(8 << 20));
+        let mut mem = MemPorts::paper_default();
+        let mut t = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let req = Request { core: (i % 16) as u8, pc: 0x400, addr, is_write: i % 3 == 0 };
+            // Touch once (may miss), touch again immediately: must hit —
+            // nothing can have evicted it in between.
+            for expect_hit in [false, true] {
+                let a = uc.access(t, &req, &mut mem);
+                t = a.done_ps;
+                if expect_hit {
+                    prop_assert!(a.hit(), "unison lost a just-touched block @{addr:#x}");
+                }
+                let a = ac.access(t, &req, &mut mem);
+                t = a.done_ps;
+                if expect_hit {
+                    prop_assert!(a.hit(), "alloy lost a just-touched block @{addr:#x}");
+                }
+                let a = fc.access(t, &req, &mut mem);
+                t = a.done_ps;
+                if expect_hit {
+                    prop_assert!(a.hit(), "footprint lost a just-touched block @{addr:#x}");
+                }
+            }
+        }
+    }
+
+    /// Statistics identities hold under arbitrary request streams:
+    /// hits + misses == accesses, and critical latency is never negative.
+    #[test]
+    fn stats_identities(
+        steps in proptest::collection::vec((0u64..(1 << 26), any::<bool>()), 1..150),
+    ) {
+        let mut uc = UnisonCache::new(UnisonConfig::new(4 << 20));
+        let mut mem = MemPorts::paper_default();
+        let mut t = 0u64;
+        for (i, &(addr, w)) in steps.iter().enumerate() {
+            let req = Request { core: (i % 16) as u8, pc: addr % 977, addr, is_write: w };
+            let a = uc.access(t, &req, &mut mem);
+            prop_assert!(a.critical_ps >= t);
+            prop_assert!(a.done_ps >= a.critical_ps || a.done_ps >= t);
+            t = a.done_ps;
+        }
+        let s = uc.stats();
+        prop_assert_eq!(s.hits + s.misses(), s.accesses);
+        prop_assert_eq!(s.accesses, steps.len() as u64);
+        // Footprint accounting identities.
+        prop_assert!(s.fp_covered_blocks <= s.fp_actual_blocks);
+        prop_assert!(s.fp_covered_blocks + s.fp_over_blocks == s.fp_predicted_blocks);
+    }
+
+    /// The LRU victim policy never evicts the most recently used way.
+    #[test]
+    fn lru_never_evicts_mru(conflicts in 2u64..12) {
+        let mut uc = UnisonCache::new(UnisonConfig::new(1 << 20));
+        let sets = uc.num_sets();
+        let mut mem = MemPorts::paper_default();
+        let mut t = 0u64;
+        // Fill one set, then keep touching page 0 while streaming
+        // conflicting pages through: page 0 must stay resident.
+        let touch = |uc: &mut UnisonCache, mem: &mut MemPorts, t: &mut u64, page: u64| {
+            let req = Request { core: 0, pc: 0x999, addr: page * sets * 960, is_write: false };
+            let a = uc.access(*t, &req, mem);
+            *t = a.done_ps;
+            a
+        };
+        touch(&mut uc, &mut mem, &mut t, 0);
+        for k in 1..=conflicts {
+            touch(&mut uc, &mut mem, &mut t, k);
+            let a = touch(&mut uc, &mut mem, &mut t, 0);
+            prop_assert!(a.hit(), "MRU page 0 evicted after {k} conflicts");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Row/column addressing and channel/rank/bank routing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramConfig;
+
+/// A device-agnostic DRAM location: a global row number plus a byte column
+/// within that row.
+///
+/// Callers that manage their own row layout (the DRAM cache designs, which
+/// treat each 8 KB row as a cache set container) address the device
+/// directly in these terms. Callers holding physical byte addresses (the
+/// off-chip main memory path) can convert with [`RowCol::from_phys_addr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowCol {
+    /// Global row number (device-wide, before channel/bank interleaving).
+    pub row: u64,
+    /// Byte offset within the row, `< row_bytes`.
+    pub col_byte: u32,
+}
+
+impl RowCol {
+    /// Creates a location from a global row number and byte column.
+    pub fn new(row: u64, col_byte: u32) -> Self {
+        RowCol { row, col_byte }
+    }
+
+    /// Maps a physical byte address onto (row, column) for a device with
+    /// `row_bytes`-sized rows, using simple linear row order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use unison_dram::RowCol;
+    /// let rc = RowCol::from_phys_addr(0x4000 + 96, 8192);
+    /// assert_eq!(rc.row, 2);
+    /// assert_eq!(rc.col_byte, 96);
+    /// ```
+    pub fn from_phys_addr(addr: u64, row_bytes: u32) -> Self {
+        RowCol {
+            row: addr / u64::from(row_bytes),
+            col_byte: (addr % u64::from(row_bytes)) as u32,
+        }
+    }
+}
+
+/// A fully routed location: which channel, rank, and bank a row lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Channel index, `< channels`.
+    pub channel: u32,
+    /// Rank index within the channel, `< ranks`.
+    pub rank: u32,
+    /// Bank index within the rank, `< banks`.
+    pub bank: u32,
+    /// Device row index within the bank.
+    pub bank_row: u64,
+}
+
+impl Location {
+    /// Routes a global row to its channel/rank/bank using row
+    /// interleaving: consecutive global rows rotate across channels first,
+    /// then banks, then ranks.
+    ///
+    /// Row interleaving makes adjacent cache sets land on different
+    /// channels/banks, maximizing bank-level parallelism for independent
+    /// requests while keeping each whole row (and thus each cache set, and
+    /// each footprint transferred from main memory) inside one bank — the
+    /// property the paper's energy argument (§V.D) relies on.
+    pub fn route(row: u64, cfg: &DramConfig) -> Self {
+        let ch = (row % u64::from(cfg.channels)) as u32;
+        let rest = row / u64::from(cfg.channels);
+        let bank = (rest % u64::from(cfg.banks)) as u32;
+        let rest = rest / u64::from(cfg.banks);
+        let rank = (rest % u64::from(cfg.ranks)) as u32;
+        let bank_row = rest / u64::from(cfg.ranks);
+        Location {
+            channel: ch,
+            rank,
+            bank,
+            bank_row,
+        }
+    }
+
+    /// Flat index of this location's bank across the whole device.
+    pub fn flat_bank(&self, cfg: &DramConfig) -> usize {
+        ((self.channel * cfg.ranks + self.rank) * cfg.banks + self.bank) as usize
+    }
+
+    /// Flat index of this location's rank across the whole device.
+    pub fn flat_rank(&self, cfg: &DramConfig) -> usize {
+        (self.channel * cfg.ranks + self.rank) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_rows_rotate_channels() {
+        let cfg = DramConfig::stacked(); // 4 channels
+        let locs: Vec<_> = (0..8).map(|r| Location::route(r, &cfg)).collect();
+        assert_eq!(locs[0].channel, 0);
+        assert_eq!(locs[1].channel, 1);
+        assert_eq!(locs[2].channel, 2);
+        assert_eq!(locs[3].channel, 3);
+        assert_eq!(locs[4].channel, 0);
+        // After a full channel rotation the bank advances.
+        assert_eq!(locs[0].bank, 0);
+        assert_eq!(locs[4].bank, 1);
+    }
+
+    #[test]
+    fn same_row_routes_identically() {
+        let cfg = DramConfig::ddr3_1600();
+        assert_eq!(Location::route(12345, &cfg), Location::route(12345, &cfg));
+    }
+
+    #[test]
+    fn flat_bank_is_unique_per_bank() {
+        let cfg = DramConfig::stacked();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..u64::from(cfg.total_banks()) {
+            let loc = Location::route(row, &cfg);
+            assert!(seen.insert(loc.flat_bank(&cfg)));
+        }
+    }
+
+    #[test]
+    fn phys_addr_roundtrip() {
+        let rc = RowCol::from_phys_addr(8192 * 10 + 4095, 8192);
+        assert_eq!(rc.row, 10);
+        assert_eq!(rc.col_byte, 4095);
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-bank row-buffer and timing state.
+
+use crate::time::Ps;
+
+/// The timing-relevant state of one DRAM bank.
+///
+/// The model keeps, for each bank, the currently open row plus the earliest
+/// legal times for the next precharge and activate. These are *forwarded
+/// timestamps*: instead of simulating the command bus cycle by cycle, each
+/// request computes when its commands could legally issue and advances
+/// these horizons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankState {
+    /// Row currently latched in the row buffer, if any.
+    pub open_row: Option<u64>,
+    /// When the open row's ACT command issued.
+    pub act_at: Ps,
+    /// Earliest time a PRE may issue (covers `tRAS`, `tRTP`, `tWR`).
+    pub earliest_pre: Ps,
+    /// Earliest time the next ACT may issue (covers `tRP` after a
+    /// precharge and `tRC` since the previous ACT).
+    pub earliest_act: Ps,
+    /// Earliest time a CAS to the open row may issue (covers `tRCD`).
+    pub earliest_cas: Ps,
+    /// Whether this bank has ever activated a row. `act_at` and the `tRC`
+    /// constraint are only meaningful once this is set.
+    pub activated_once: bool,
+}
+
+impl BankState {
+    /// Creates a bank with no open row and no pending constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if `row` is latched in the row buffer.
+    pub fn is_open(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_has_no_open_row() {
+        let b = BankState::new();
+        assert_eq!(b.open_row, None);
+        assert!(!b.is_open(0));
+    }
+
+    #[test]
+    fn is_open_matches_exact_row() {
+        let b = BankState {
+            open_row: Some(42),
+            ..BankState::new()
+        };
+        assert!(b.is_open(42));
+        assert!(!b.is_open(43));
+    }
+}

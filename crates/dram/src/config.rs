@@ -1,0 +1,261 @@
+//! DRAM device geometry, timing, and energy configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Ps;
+
+/// JEDEC-style inter-command timing constraints, in device clock cycles.
+///
+/// The field values of the two presets are the Table III parameters of the
+/// paper (`tCAS-tRCD-tRP-tRAS = 11-11-11-28`, `tRC-tWR-tWTR-tRTP =
+/// 39-12-6-6`, `tRRD-tFAW = 5-24`), interpreted in the respective device
+/// clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Timings {
+    /// Column access strobe latency: CAS command to first data beat.
+    pub t_cas: u32,
+    /// Row-to-column delay: ACT to first CAS.
+    pub t_rcd: u32,
+    /// Row precharge time: PRE to next ACT on the same bank.
+    pub t_rp: u32,
+    /// Row active time: minimum ACT-to-PRE interval.
+    pub t_ras: u32,
+    /// Row cycle: minimum ACT-to-ACT interval on the same bank.
+    pub t_rc: u32,
+    /// Write recovery: end of write data to PRE.
+    pub t_wr: u32,
+    /// Write-to-read turnaround within a rank.
+    pub t_wtr: u32,
+    /// Read-to-precharge delay.
+    pub t_rtp: u32,
+    /// ACT-to-ACT minimum across banks of a rank.
+    pub t_rrd: u32,
+    /// Four-activate window: at most 4 ACTs per rank per `t_faw`.
+    pub t_faw: u32,
+    /// Write latency (CAS-write to first data beat). DDR3 uses
+    /// `tCWL ≈ tCAS - 1`; both presets follow that convention.
+    pub t_cwd: u32,
+}
+
+impl Timings {
+    /// The Table III timing set shared by both DRAM devices in the paper.
+    pub const fn table_iii() -> Self {
+        Timings {
+            t_cas: 11,
+            t_rcd: 11,
+            t_rp: 11,
+            t_ras: 28,
+            t_rc: 39,
+            t_wr: 12,
+            t_wtr: 6,
+            t_rtp: 6,
+            t_rrd: 5,
+            t_faw: 24,
+            t_cwd: 10,
+        }
+    }
+}
+
+/// Per-operation dynamic energy parameters, in picojoules.
+///
+/// Defaults are representative DDR3/stacked-DRAM figures (Micron power
+/// model ballpark); the Section V.D reproduction only depends on *ratios*
+/// between designs (activation counts per useful block), not on the
+/// absolute nanojoule values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one ACT+PRE pair (row activation plus precharge), pJ.
+    pub act_pre_pj: f64,
+    /// Column read energy per byte transferred, pJ/B.
+    pub read_pj_per_byte: f64,
+    /// Column write energy per byte transferred, pJ/B.
+    pub write_pj_per_byte: f64,
+    /// I/O and termination energy per byte moved on the bus, pJ/B.
+    pub io_pj_per_byte: f64,
+}
+
+impl EnergyParams {
+    /// Off-chip DDR3 energy preset (long PCB traces dominate I/O energy).
+    pub const fn ddr3() -> Self {
+        EnergyParams {
+            act_pre_pj: 20_000.0,
+            read_pj_per_byte: 4.0,
+            write_pj_per_byte: 4.0,
+            io_pj_per_byte: 12.0,
+        }
+    }
+
+    /// Die-stacked DRAM energy preset (TSV I/O is roughly an order of
+    /// magnitude cheaper than off-chip signalling).
+    pub const fn stacked() -> Self {
+        EnergyParams {
+            act_pre_pj: 12_000.0,
+            read_pj_per_byte: 3.0,
+            write_pj_per_byte: 3.0,
+            io_pj_per_byte: 1.2,
+        }
+    }
+}
+
+/// Full configuration of one DRAM device (geometry + timing + energy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Device clock in MHz. The data bus is DDR: two beats per clock.
+    pub clock_mhz: u64,
+    /// Data bus width in bits, per channel.
+    pub bus_bits: u32,
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Banks per rank (Table III: 8).
+    pub banks: u32,
+    /// Row buffer size in bytes (Table III: 8 KB).
+    pub row_bytes: u32,
+    /// Inter-command timing constraints.
+    pub timings: Timings,
+    /// Dynamic energy parameters.
+    pub energy: EnergyParams,
+}
+
+impl DramConfig {
+    /// Die-stacked DRAM per Table III: DDR-like interface at 1.6 GHz,
+    /// 4 channels, 8 banks/rank, 8 KB row buffer, 128-bit bus.
+    ///
+    /// Peak bandwidth: 4 ch × 16 B/beat × 3.2 Gbeat/s = 204.8 GB/s, in line
+    /// with the paper's "over 100 GB/s" for die-stacked DRAM.
+    pub fn stacked() -> Self {
+        DramConfig {
+            name: "stacked",
+            clock_mhz: 1600,
+            bus_bits: 128,
+            channels: 4,
+            ranks: 1,
+            banks: 8,
+            row_bytes: 8192,
+            timings: Timings::table_iii(),
+            energy: EnergyParams::stacked(),
+        }
+    }
+
+    /// Off-chip DRAM per Table III: one DDR3-1600 channel (800 MHz clock),
+    /// 8 banks per rank, 8 KB row buffer, 64-bit bus. Peak 12.8 GB/s.
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            name: "ddr3-1600",
+            clock_mhz: 800,
+            bus_bits: 64,
+            channels: 1,
+            ranks: 2,
+            banks: 8,
+            row_bytes: 8192,
+            timings: Timings::table_iii(),
+            energy: EnergyParams::ddr3(),
+        }
+    }
+
+    /// Picoseconds per device clock cycle.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use unison_dram::DramConfig;
+    /// assert_eq!(DramConfig::ddr3_1600().clock_ps(), 1250);
+    /// assert_eq!(DramConfig::stacked().clock_ps(), 625);
+    /// ```
+    pub fn clock_ps(&self) -> Ps {
+        1_000_000 / self.clock_mhz
+    }
+
+    /// Converts a count of device clock cycles to picoseconds.
+    pub fn clocks_to_ps(&self, clocks: u32) -> Ps {
+        u64::from(clocks) * self.clock_ps()
+    }
+
+    /// Duration of a burst transferring `bytes`, in picoseconds.
+    ///
+    /// The bus is DDR (two beats per clock), each beat moving
+    /// `bus_bits / 8` bytes. Partial beats round up.
+    ///
+    /// # Example
+    ///
+    /// 64 B on the stacked 128-bit bus is 4 beats = 2 device clocks
+    /// = 1250 ps (≈ 4 CPU cycles at 3 GHz):
+    ///
+    /// ```
+    /// # use unison_dram::DramConfig;
+    /// let d = DramConfig::stacked();
+    /// assert_eq!(d.burst_ps(64), 1250);
+    /// // The 32 B Unison Cache set-metadata read is one clock (2 beats):
+    /// assert_eq!(d.burst_ps(32), 625);
+    /// ```
+    pub fn burst_ps(&self, bytes: u32) -> Ps {
+        let beat_bytes = self.bus_bits / 8;
+        let beats = u64::from(bytes.div_ceil(beat_bytes));
+        // Two beats per clock; round half-clock bursts up.
+        (beats * self.clock_ps()).div_ceil(2)
+    }
+
+    /// Total number of banks across the whole device.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks * self.banks
+    }
+
+    /// Peak data bandwidth in bytes per second, across all channels.
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> u64 {
+        // beats/s = 2 * clock; bytes/beat = bus_bits/8.
+        2 * self.clock_mhz * 1_000_000 * u64::from(self.bus_bits / 8) * u64::from(self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_presets_match_paper() {
+        let s = DramConfig::stacked();
+        assert_eq!(s.channels, 4);
+        assert_eq!(s.banks, 8);
+        assert_eq!(s.row_bytes, 8192);
+        assert_eq!(s.bus_bits, 128);
+        assert_eq!(s.timings.t_cas, 11);
+        assert_eq!(s.timings.t_faw, 24);
+
+        let d = DramConfig::ddr3_1600();
+        assert_eq!(d.channels, 1);
+        assert_eq!(d.clock_mhz, 800);
+        assert_eq!(d.bus_bits, 64);
+    }
+
+    #[test]
+    fn stacked_bandwidth_exceeds_100_gb_per_s() {
+        let s = DramConfig::stacked();
+        assert!(s.peak_bandwidth_bytes_per_sec() > 100_000_000_000);
+    }
+
+    #[test]
+    fn offchip_bandwidth_is_12_8_gb_per_s() {
+        let d = DramConfig::ddr3_1600();
+        assert_eq!(d.peak_bandwidth_bytes_per_sec(), 12_800_000_000);
+    }
+
+    #[test]
+    fn burst_duration_rounds_partial_beats_up() {
+        let d = DramConfig::ddr3_1600(); // 8 B/beat, 625 ps/beat
+        assert_eq!(d.burst_ps(64), 5000); // 8 beats = 4 clocks
+        assert_eq!(d.burst_ps(1), 625); // 1 beat rounds to a half clock
+        assert_eq!(d.burst_ps(72), 5625); // 9 beats
+    }
+
+    #[test]
+    fn metadata_read_is_two_cpu_cycles_on_stacked_bus() {
+        // §III-A.6: 32 B of tags transfer in two bursts over the 128-bit
+        // TSV bus, "one bus cycle or two CPU cycles".
+        let s = DramConfig::stacked();
+        let cycles = crate::time::ps_to_cpu_cycles(s.burst_ps(32));
+        assert_eq!(cycles, 2);
+    }
+}

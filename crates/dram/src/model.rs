@@ -1,0 +1,458 @@
+//! The timestamp-forwarding DRAM timing engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{Location, RowCol};
+use crate::bank::BankState;
+use crate::config::DramConfig;
+use crate::energy::EnergyCounters;
+use crate::time::Ps;
+
+/// A column operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Column read (data leaves the device).
+    Read,
+    /// Column write (data enters the device).
+    Write,
+}
+
+/// The computed timing of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the column command effectively issued (after all constraints).
+    pub cas_ps: Ps,
+    /// When the first data beat has arrived — the critical-word time a
+    /// waiting core observes.
+    pub first_data_ps: Ps,
+    /// When the last data beat has transferred — when the bus frees and
+    /// the full block is available.
+    pub last_data_ps: Ps,
+    /// The access found its row already open (row-buffer hit).
+    pub row_hit: bool,
+    /// The access had to activate a row.
+    pub activated: bool,
+    /// The access had to precharge a *different* open row first
+    /// (row-buffer conflict).
+    pub conflict: bool,
+}
+
+/// Aggregate counters over all accesses since the last stats reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Column reads served.
+    pub reads: u64,
+    /// Column writes served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Activations into an idle (precharged) bank.
+    pub row_empty: u64,
+    /// Activations that had to close another row first.
+    pub row_conflicts: u64,
+    /// Total data-bus occupancy accumulated, in picoseconds (summed across
+    /// channels; divide by channels × elapsed time for utilization).
+    pub bus_busy_ps: Ps,
+}
+
+/// A single DRAM device (stacked cache DRAM or off-chip main memory).
+///
+/// See the [crate docs](crate) for the modelling approach. Accesses should
+/// arrive in roughly non-decreasing `now` order; small inversions (a
+/// demand access presented while an earlier request's background fill is
+/// still charged in the future) are tolerated — the max-based timing
+/// horizons make such accesses queue behind the already-charged work,
+/// which is the causally conservative direction.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    banks: Vec<BankState>,
+    /// Per-channel data bus busy-until horizon.
+    bus_free: Vec<Ps>,
+    /// Per-rank time of the most recent ACT (for `tRRD`).
+    rank_last_act: Vec<Ps>,
+    /// Per-rank ring buffer of the last four ACT times (for `tFAW`).
+    rank_faw: Vec<[Ps; 4]>,
+    rank_faw_idx: Vec<usize>,
+    /// Per-rank count of ACTs issued so far; `tRRD` applies after the
+    /// first, `tFAW` after the fourth.
+    rank_act_count: Vec<u64>,
+    /// Per-rank earliest read CAS after a write burst (for `tWTR`).
+    rank_wtr_ready: Vec<Ps>,
+    counters: EnergyCounters,
+    stats: DramStats,
+    last_now: Ps,
+}
+
+impl DramModel {
+    /// Creates a device in the all-banks-precharged state at time zero.
+    pub fn new(cfg: DramConfig) -> Self {
+        let n_banks = cfg.total_banks() as usize;
+        let n_ranks = (cfg.channels * cfg.ranks) as usize;
+        let n_ch = cfg.channels as usize;
+        DramModel {
+            cfg,
+            banks: vec![BankState::new(); n_banks],
+            bus_free: vec![0; n_ch],
+            rank_last_act: vec![0; n_ranks],
+            rank_faw: vec![[0; 4]; n_ranks],
+            rank_faw_idx: vec![0; n_ranks],
+            rank_act_count: vec![0; n_ranks],
+            rank_wtr_ready: vec![0; n_ranks],
+            counters: EnergyCounters::default(),
+            stats: DramStats::default(),
+            last_now: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Dynamic-energy counters accumulated so far.
+    pub fn energy(&self) -> &EnergyCounters {
+        &self.counters
+    }
+
+    /// Access statistics accumulated since the last [`Self::reset_stats`].
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Clears statistics and energy counters but *keeps* all timing state
+    /// (open rows, horizons) — used at the warmup/measurement boundary.
+    pub fn reset_stats(&mut self) {
+        self.counters = EnergyCounters::default();
+        self.stats = DramStats::default();
+    }
+
+    /// Earliest time the data bus of the channel serving `row` frees up.
+    /// Useful for callers modelling controller-queue backpressure.
+    pub fn channel_free_at(&self, row: u64) -> Ps {
+        let loc = Location::route(row, &self.cfg);
+        self.bus_free[loc.channel as usize]
+    }
+
+    /// Performs one column access of `bytes` at `rc`, arriving at `now`.
+    ///
+    /// Returns the full timing. All inter-command constraints are enforced
+    /// against the device state left behind by earlier accesses; the
+    /// device state advances to reflect this access.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the access fits within one row.
+    pub fn access(&mut self, now: Ps, op: Op, rc: RowCol, bytes: u32) -> Completion {
+        debug_assert!(
+            rc.col_byte + bytes <= self.cfg.row_bytes,
+            "access must not cross a row boundary"
+        );
+        self.last_now = self.last_now.max(now);
+
+        let loc = Location::route(rc.row, &self.cfg);
+        let bank_idx = loc.flat_bank(&self.cfg);
+        let rank_idx = loc.flat_rank(&self.cfg);
+        let ch = loc.channel as usize;
+        let t = self.cfg.timings;
+        let tck = self.cfg.clock_ps();
+        let clocks = |c: u32| u64::from(c) * tck;
+
+        let row_hit = self.banks[bank_idx].is_open(rc.row);
+        let mut activated = false;
+        let mut conflict = false;
+
+        let mut cas_ready = if row_hit {
+            now.max(self.banks[bank_idx].earliest_cas)
+        } else {
+            // Need an ACT; maybe a PRE first.
+            let bank = self.banks[bank_idx];
+            let after_pre = if bank.open_row.is_some() {
+                conflict = true;
+                let pre_at = now.max(bank.earliest_pre);
+                pre_at + clocks(t.t_rp)
+            } else {
+                now.max(bank.earliest_act)
+            };
+            // Rank-level activation throttles: tRRD after the first ACT,
+            // tFAW once four ACTs have happened in the window.
+            let acts_so_far = self.rank_act_count[rank_idx];
+            let rrd_ready = if acts_so_far >= 1 {
+                self.rank_last_act[rank_idx] + clocks(t.t_rrd)
+            } else {
+                0
+            };
+            let faw_ready = if acts_so_far >= 4 {
+                self.rank_faw[rank_idx][self.rank_faw_idx[rank_idx]] + clocks(t.t_faw)
+            } else {
+                0
+            };
+            // Same-bank ACT-to-ACT (tRC).
+            let rc_ready = if bank.activated_once {
+                bank.act_at + clocks(t.t_rc)
+            } else {
+                0
+            };
+            let act_at = after_pre.max(rrd_ready).max(faw_ready).max(rc_ready);
+
+            let b = &mut self.banks[bank_idx];
+            b.open_row = Some(rc.row);
+            b.act_at = act_at;
+            b.activated_once = true;
+            b.earliest_act = act_at + clocks(t.t_rc);
+            self.rank_last_act[rank_idx] = act_at;
+            self.rank_faw[rank_idx][self.rank_faw_idx[rank_idx]] = act_at;
+            self.rank_faw_idx[rank_idx] = (self.rank_faw_idx[rank_idx] + 1) % 4;
+            self.rank_act_count[rank_idx] += 1;
+            activated = true;
+
+            act_at + clocks(t.t_rcd)
+        };
+
+        // Write-to-read turnaround within the rank.
+        if op == Op::Read {
+            cas_ready = cas_ready.max(self.rank_wtr_ready[rank_idx]);
+        }
+
+        let cmd_to_data = match op {
+            Op::Read => clocks(t.t_cas),
+            Op::Write => clocks(t.t_cwd),
+        };
+        let burst = self.cfg.burst_ps(bytes);
+        // The data burst needs the channel bus; if the bus is still busy,
+        // the column command slides later.
+        let data_start = (cas_ready + cmd_to_data).max(self.bus_free[ch]);
+        let cas_at = data_start - cmd_to_data;
+        let data_end = data_start + burst;
+        self.bus_free[ch] = data_end;
+
+        // Bank horizons left behind for the next access.
+        {
+            let b = &mut self.banks[bank_idx];
+            // Approximates tCCD with the burst occupancy of this access.
+            b.earliest_cas = b.earliest_cas.max(cas_at + burst);
+            let pre_after = match op {
+                Op::Read => cas_at + clocks(t.t_rtp),
+                Op::Write => data_end + clocks(t.t_wr),
+            };
+            b.earliest_pre = b.earliest_pre.max(b.act_at + clocks(t.t_ras)).max(pre_after);
+        }
+        if op == Op::Write {
+            self.rank_wtr_ready[rank_idx] = data_end + clocks(t.t_wtr);
+        }
+
+        // Statistics and energy.
+        match op {
+            Op::Read => {
+                self.stats.reads += 1;
+                self.counters.read_cmds += 1;
+                self.counters.bytes_read += u64::from(bytes);
+            }
+            Op::Write => {
+                self.stats.writes += 1;
+                self.counters.write_cmds += 1;
+                self.counters.bytes_written += u64::from(bytes);
+            }
+        }
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else if conflict {
+            self.stats.row_conflicts += 1;
+        } else {
+            self.stats.row_empty += 1;
+        }
+        if activated {
+            self.counters.activations += 1;
+        }
+        self.stats.bus_busy_ps += burst;
+
+        // First beat completes after half a device clock (one DDR beat).
+        let first_data_ps = data_start + tck.div_ceil(2);
+        Completion {
+            cas_ps: cas_at,
+            first_data_ps: first_data_ps.min(data_end),
+            last_data_ps: data_end,
+            row_hit,
+            activated,
+            conflict,
+        }
+    }
+
+    /// Convenience: access by physical byte address (linear row mapping).
+    pub fn access_addr(&mut self, now: Ps, op: Op, addr: u64, bytes: u32) -> Completion {
+        let rc = RowCol::from_phys_addr(addr, self.cfg.row_bytes);
+        self.access(now, op, rc, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ddr3() -> DramModel {
+        DramModel::new(DramConfig::ddr3_1600())
+    }
+
+    #[test]
+    fn cold_read_pays_act_plus_cas() {
+        let mut d = ddr3();
+        let t = d.config().timings;
+        let tck = d.config().clock_ps();
+        let c = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        assert!(!c.row_hit);
+        assert!(c.activated);
+        assert!(!c.conflict);
+        // ACT at 0, CAS at tRCD, data at tRCD + tCAS.
+        let expect = u64::from(t.t_rcd + t.t_cas) * tck;
+        assert_eq!(c.last_data_ps, expect + d.config().burst_ps(64));
+    }
+
+    #[test]
+    fn row_hit_skips_activation() {
+        let mut d = ddr3();
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        let c2 = d.access(c1.last_data_ps, Op::Read, RowCol::new(0, 64), 64);
+        assert!(c2.row_hit);
+        assert!(!c2.activated);
+        assert!(c2.last_data_ps - c1.last_data_ps < c1.last_data_ps);
+    }
+
+    #[test]
+    fn conflict_pays_precharge() {
+        let mut d = ddr3();
+        let cfg = d.config().clone();
+        // Rows 0 and banks*channels*ranks map to the same bank.
+        let stride = u64::from(cfg.total_banks());
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        let far = c1.last_data_ps + 1_000_000; // long idle, all constraints met
+        let c2 = d.access(far, Op::Read, RowCol::new(stride, 0), 64);
+        assert!(c2.conflict);
+        let t = cfg.timings;
+        let tck = cfg.clock_ps();
+        let expect = far + u64::from(t.t_rp + t.t_rcd + t.t_cas) * tck + cfg.burst_ps(64);
+        assert_eq!(c2.last_data_ps, expect);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = ddr3();
+        // ddr3 has 1 channel: rows 0 and 1 share a bus but not a bank.
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        let c2 = d.access(0, Op::Read, RowCol::new(1, 0), 64);
+        // Second access activates its own bank in parallel (delayed only
+        // by tRRD); the data bursts serialize on the shared bus.
+        let trrd = u64::from(d.config().timings.t_rrd) * d.config().clock_ps();
+        assert!(c2.last_data_ps < 2 * c1.last_data_ps);
+        assert!(c2.last_data_ps <= c1.last_data_ps + d.config().burst_ps(64) + trrd);
+    }
+
+    #[test]
+    fn channels_are_fully_independent() {
+        let mut d = DramModel::new(DramConfig::stacked());
+        // Rows 0 and 1 are on different channels under row interleaving.
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        let c2 = d.access(0, Op::Read, RowCol::new(1, 0), 64);
+        assert_eq!(c1.last_data_ps, c2.last_data_ps);
+    }
+
+    #[test]
+    fn overlapped_tag_and_data_read_cost_little_more_than_one_read() {
+        // §III-A: Unison Cache issues a 32 B metadata read and a 64 B data
+        // read back-to-back to the same row. The second read should finish
+        // roughly one small burst after the first — NOT one full DRAM
+        // access later.
+        let mut d = DramModel::new(DramConfig::stacked());
+        let meta = d.access(0, Op::Read, RowCol::new(0, 0), 32);
+        let data = d.access(0, Op::Read, RowCol::new(0, 32), 64);
+        let serialized_estimate = 2 * meta.last_data_ps;
+        assert!(data.last_data_ps < serialized_estimate);
+        assert_eq!(
+            data.last_data_ps,
+            meta.last_data_ps + d.config().burst_ps(64)
+        );
+    }
+
+    #[test]
+    fn write_then_read_pays_wtr() {
+        let mut d = ddr3();
+        let t = d.config().timings;
+        let tck = d.config().clock_ps();
+        let w = d.access(0, Op::Write, RowCol::new(0, 0), 64);
+        let r = d.access(w.last_data_ps, Op::Read, RowCol::new(0, 64), 64);
+        // Read CAS must wait tWTR after the write burst ends.
+        assert!(r.cas_ps >= w.last_data_ps + u64::from(t.t_wtr) * tck);
+    }
+
+    #[test]
+    fn faw_throttles_bursts_of_activations() {
+        let mut d = ddr3();
+        let cfg = d.config().clone();
+        // Five activations to five different banks of rank 0 at time 0.
+        // Banks on rank 0 (1 channel, 2 ranks... route: bank rotates first).
+        let mut acts = vec![];
+        for i in 0..5 {
+            // Rows i map to banks i (channel 0). Ranks alternate after banks.
+            let c = d.access(0, Op::Read, RowCol::new(i, 0), 64);
+            if c.activated {
+                acts.push(c);
+            }
+        }
+        assert_eq!(acts.len(), 5);
+        let t = cfg.timings;
+        let tck = cfg.clock_ps();
+        // The 5th ACT to the same rank must be >= first ACT + tFAW.
+        let first_cas = acts[0].cas_ps;
+        let fifth_cas = acts[4].cas_ps;
+        assert!(fifth_cas >= first_cas + u64::from(t.t_faw) * tck - u64::from(t.t_rcd) * tck);
+    }
+
+    #[test]
+    fn stats_and_energy_track_accesses() {
+        let mut d = ddr3();
+        d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        let t1 = d.access(1000, Op::Write, RowCol::new(0, 64), 64).last_data_ps;
+        d.access(t1, Op::Read, RowCol::new(0, 128), 64);
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.row_hits, 2);
+        assert_eq!(s.row_empty, 1);
+        let e = d.energy();
+        assert_eq!(e.activations, 1);
+        assert_eq!(e.bytes_read, 128);
+        assert_eq!(e.bytes_written, 64);
+    }
+
+    #[test]
+    fn reset_stats_preserves_timing_state() {
+        let mut d = ddr3();
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+        // Row is still open: next access is a row hit.
+        let c2 = d.access(c1.last_data_ps, Op::Read, RowCol::new(0, 64), 64);
+        assert!(c2.row_hit);
+    }
+
+    #[test]
+    fn bus_contention_delays_later_requests() {
+        let mut d = ddr3();
+        // Saturate the single channel with large bursts to one row.
+        let c1 = d.access(0, Op::Read, RowCol::new(0, 0), 4096);
+        let c2 = d.access(0, Op::Read, RowCol::new(0, 4096), 64);
+        assert!(c2.first_data_ps > c1.last_data_ps);
+    }
+
+    #[test]
+    fn completion_ordering_invariants() {
+        let mut d = DramModel::new(DramConfig::stacked());
+        let mut now = 0;
+        for i in 0..200 {
+            let c = d.access(now, Op::Read, RowCol::new(i % 37, ((i * 64) % 8128) as u32), 64);
+            assert!(c.cas_ps >= now);
+            assert!(c.first_data_ps > c.cas_ps);
+            assert!(c.last_data_ps >= c.first_data_ps);
+            now += 500;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Time base helpers.
+//!
+//! All DRAM-internal arithmetic uses **picoseconds** so that the 3 GHz CPU
+//! clock (333.33 ps, i.e. exactly 1 ns per 3 cycles), the 800 MHz DDR3
+//! clock (1250 ps), and the 1.6 GHz stacked-DRAM clock (625 ps) can be
+//! mixed without cumulative rounding error.
+
+/// A point in (or duration of) simulated time, in picoseconds.
+pub type Ps = u64;
+
+/// The CPU clock frequency of the evaluated system (Table III): 3 GHz.
+pub const CPU_CLOCK_MHZ: u64 = 3000;
+
+/// Picoseconds per CPU clock period, times 3 (exact: 3 cycles == 1 ns).
+const PS_PER_3_CPU_CYCLES: u64 = 1000;
+
+/// Converts a CPU-cycle count into picoseconds (3 GHz clock).
+///
+/// The conversion is exact for multiples of 3 cycles and rounds to the
+/// nearest picosecond otherwise.
+///
+/// # Example
+///
+/// ```
+/// # use unison_dram::cpu_cycles_to_ps;
+/// assert_eq!(cpu_cycles_to_ps(3), 1_000);
+/// assert_eq!(cpu_cycles_to_ps(60), 20_000);
+/// ```
+pub fn cpu_cycles_to_ps(cycles: u64) -> Ps {
+    // cycles * 1000 / 3, rounded to nearest.
+    (cycles * PS_PER_3_CPU_CYCLES + 1) / 3
+}
+
+/// Converts picoseconds into CPU cycles (3 GHz clock), rounding up.
+///
+/// Rounding up matches how a synchronous core observes an asynchronous
+/// completion: the result is visible at the *next* core clock edge.
+///
+/// # Example
+///
+/// ```
+/// # use unison_dram::ps_to_cpu_cycles;
+/// assert_eq!(ps_to_cpu_cycles(1_000), 3);
+/// assert_eq!(ps_to_cpu_cycles(1_001), 4);
+/// ```
+pub fn ps_to_cpu_cycles(ps: Ps) -> u64 {
+    (ps * 3).div_ceil(PS_PER_3_CPU_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_cycle_conversion_is_exact_for_multiples_of_three() {
+        for c in (0..3000).step_by(3) {
+            assert_eq!(ps_to_cpu_cycles(cpu_cycles_to_ps(c)), c);
+        }
+    }
+
+    #[test]
+    fn ps_to_cycles_rounds_up() {
+        assert_eq!(ps_to_cpu_cycles(0), 0);
+        assert_eq!(ps_to_cpu_cycles(1), 1);
+        assert_eq!(ps_to_cpu_cycles(334), 2);
+    }
+
+    #[test]
+    fn sixty_cpu_cycles_is_twenty_ns() {
+        // The paper quotes "~60 cycles" for a DRAM access == 20 ns @3GHz.
+        assert_eq!(cpu_cycles_to_ps(60), 20_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the DRAM timing engine.
+
+use proptest::prelude::*;
+use unison_dram::{DramConfig, DramModel, Op, RowCol};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Read), Just(Op::Write)]
+}
+
+proptest! {
+    /// Completion times never precede arrival, and data ordering holds.
+    #[test]
+    fn completions_are_causal(
+        steps in proptest::collection::vec((0u64..64, 0u32..127, arb_op(), 1u64..4000), 1..200)
+    ) {
+        let mut d = DramModel::new(DramConfig::stacked());
+        let mut now = 0u64;
+        for (row, col64, op, gap) in steps {
+            now += gap;
+            let c = d.access(now, op, RowCol::new(row, col64 * 64), 64);
+            prop_assert!(c.cas_ps >= now);
+            prop_assert!(c.first_data_ps > c.cas_ps);
+            prop_assert!(c.last_data_ps >= c.first_data_ps);
+        }
+    }
+
+    /// The channel bus never double-books: each access's burst begins at
+    /// or after the previous burst on the same channel ended.
+    #[test]
+    fn bus_is_never_double_booked(
+        steps in proptest::collection::vec((0u64..16, arb_op(), 0u64..2000), 1..200)
+    ) {
+        let cfg = DramConfig::ddr3_1600(); // single channel: strongest check
+        let burst = cfg.burst_ps(64);
+        let mut d = DramModel::new(cfg);
+        let mut now = 0u64;
+        let mut last_end = 0u64;
+        for (row, op, gap) in steps {
+            now += gap;
+            let c = d.access(now, op, RowCol::new(row, 0), 64);
+            let start = c.last_data_ps - burst;
+            prop_assert!(start >= last_end, "burst started before bus freed");
+            last_end = c.last_data_ps;
+        }
+    }
+
+    /// Same-bank accesses respect tRC between activations.
+    #[test]
+    fn same_bank_activations_respect_trc(
+        gaps in proptest::collection::vec(0u64..3000, 2..100)
+    ) {
+        let cfg = DramConfig::ddr3_1600();
+        let t = cfg.timings;
+        let trc = u64::from(t.t_rc) * cfg.clock_ps();
+        let stride = u64::from(cfg.total_banks());
+        let mut d = DramModel::new(cfg);
+        let mut now = 0u64;
+        let mut last_act: Option<u64> = None;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            // Alternate two rows of the same bank: every access conflicts.
+            let row = stride * (i as u64 % 2);
+            let c = d.access(now, Op::Read, RowCol::new(row, 0), 64);
+            if c.activated {
+                let act_time = c.cas_ps; // CAS >= ACT + tRCD, so ACT <= CAS
+                if let Some(prev) = last_act {
+                    // ACT-to-ACT >= tRC; we check the conservative bound
+                    // via CAS spacing (CAS_i - CAS_{i-1} >= tRC).
+                    prop_assert!(act_time >= prev + trc);
+                }
+                last_act = Some(act_time);
+            }
+        }
+    }
+
+    /// Energy counters add up: bytes counted equal bytes requested.
+    #[test]
+    fn energy_bytes_match_requests(
+        steps in proptest::collection::vec((0u64..64, arb_op()), 1..100)
+    ) {
+        let mut d = DramModel::new(DramConfig::stacked());
+        let mut now = 0u64;
+        let (mut rd, mut wr) = (0u64, 0u64);
+        for (row, op) in steps {
+            now += 10_000;
+            d.access(now, op, RowCol::new(row, 0), 64);
+            match op {
+                Op::Read => rd += 64,
+                Op::Write => wr += 64,
+            }
+        }
+        prop_assert_eq!(d.energy().bytes_read, rd);
+        prop_assert_eq!(d.energy().bytes_written, wr);
+    }
+}

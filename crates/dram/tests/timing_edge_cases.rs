@@ -1,0 +1,105 @@
+//! Edge-case timing tests: turnarounds, cross-rank independence, and
+//! sustained-bandwidth sanity for the DRAM engine.
+
+use unison_dram::{cpu_cycles_to_ps, DramConfig, DramModel, Op, RowCol};
+
+#[test]
+fn write_after_write_streams_on_the_bus() {
+    // Back-to-back writes to an open row should be bus-limited, not
+    // turnaround-limited.
+    let mut d = DramModel::new(DramConfig::stacked());
+    let w1 = d.access(0, Op::Write, RowCol::new(0, 0), 64);
+    let w2 = d.access(0, Op::Write, RowCol::new(0, 64), 64);
+    assert_eq!(
+        w2.last_data_ps - w1.last_data_ps,
+        d.config().burst_ps(64),
+        "second write should follow one burst behind the first"
+    );
+}
+
+#[test]
+fn tfaw_does_not_throttle_across_ranks() {
+    // DDR3 preset has 2 ranks: four ACTs to rank 0 must not delay an ACT
+    // to rank 1.
+    let cfg = DramConfig::ddr3_1600();
+    let banks = u64::from(cfg.banks);
+    let mut d = DramModel::new(cfg.clone());
+    // Rows 0..8: banks rotate first, so rows 0..8 cover rank 0's banks;
+    // row `banks` (8) lands on rank 1, bank 0.
+    for i in 0..4 {
+        d.access(0, Op::Read, RowCol::new(i, 0), 64);
+    }
+    let other_rank = d.access(0, Op::Read, RowCol::new(banks, 0), 64);
+    let t = cfg.timings;
+    let upper = cpu_cycles_to_ps(0)
+        + u64::from(t.t_rcd + t.t_cas) * cfg.clock_ps()
+        + cfg.burst_ps(64)
+        + 5 * cfg.burst_ps(64); // bus queue behind the four reads
+    assert!(
+        other_rank.last_data_ps <= upper,
+        "rank-1 ACT throttled by rank-0 tFAW: {} > {}",
+        other_rank.last_data_ps,
+        upper
+    );
+}
+
+#[test]
+fn sustained_row_hits_approach_peak_bandwidth() {
+    // Stream 64 reads from one open row: the bus should be the limiter,
+    // so total time ≈ 64 bursts after the first access completes.
+    let cfg = DramConfig::stacked();
+    let burst = cfg.burst_ps(64);
+    let mut d = DramModel::new(cfg);
+    let first = d.access(0, Op::Read, RowCol::new(0, 0), 64);
+    let mut last = first.last_data_ps;
+    for i in 1..64u32 {
+        last = d
+            .access(0, Op::Read, RowCol::new(0, (i * 64) % 8128), 64)
+            .last_data_ps;
+    }
+    let elapsed = last - first.last_data_ps;
+    assert_eq!(elapsed, 63 * burst, "row-hit stream must be bus-limited");
+}
+
+#[test]
+fn read_write_read_turnaround_costs_more_than_read_read() {
+    let mut d1 = DramModel::new(DramConfig::ddr3_1600());
+    let a = d1.access(0, Op::Read, RowCol::new(0, 0), 64);
+    let b = d1.access(a.last_data_ps, Op::Write, RowCol::new(0, 64), 64);
+    let c = d1.access(b.last_data_ps, Op::Read, RowCol::new(0, 128), 64);
+    let rwr = c.last_data_ps;
+
+    let mut d2 = DramModel::new(DramConfig::ddr3_1600());
+    let a = d2.access(0, Op::Read, RowCol::new(0, 0), 64);
+    let b = d2.access(a.last_data_ps, Op::Read, RowCol::new(0, 64), 64);
+    let c = d2.access(b.last_data_ps, Op::Read, RowCol::new(0, 128), 64);
+    let rrr = c.last_data_ps;
+
+    assert!(rwr > rrr, "tWTR must make R-W-R slower than R-R-R");
+}
+
+#[test]
+fn row_conflict_statistics_classify_correctly() {
+    let cfg = DramConfig::ddr3_1600();
+    let stride = u64::from(cfg.total_banks());
+    let mut d = DramModel::new(cfg);
+    d.access(0, Op::Read, RowCol::new(0, 0), 64); // empty
+    let t = d.access(1_000_000, Op::Read, RowCol::new(0, 64), 64); // hit
+    d.access(t.last_data_ps + 1_000_000, Op::Read, RowCol::new(stride, 0), 64); // conflict
+    let s = d.stats();
+    assert_eq!(s.row_empty, 1);
+    assert_eq!(s.row_hits, 1);
+    assert_eq!(s.row_conflicts, 1);
+}
+
+#[test]
+fn full_row_transfer_is_one_activation() {
+    // Reading a whole 8KB row in 64B chunks must cost exactly one
+    // activation — the premise of footprint-granularity efficiency.
+    let mut d = DramModel::new(DramConfig::ddr3_1600());
+    for i in 0..128u32 {
+        d.access(0, Op::Read, RowCol::new(5, i * 64), 64);
+    }
+    assert_eq!(d.energy().activations, 1);
+    assert_eq!(d.energy().bytes_read, 8192);
+}

@@ -1,0 +1,134 @@
+//! Turning an L1-level trace into the post-L2 stream a DRAM cache sees.
+
+use unison_trace::TraceRecord;
+
+use crate::sram::Hierarchy;
+
+/// Statistics of a filtering pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilteredStats {
+    /// Records presented to the hierarchy.
+    pub input_records: u64,
+    /// Records that escaped the L2 (the DRAM-cache request stream).
+    pub output_records: u64,
+}
+
+impl FilteredStats {
+    /// Fraction of the input stream absorbed on-chip.
+    pub fn absorption(&self) -> f64 {
+        if self.input_records == 0 {
+            0.0
+        } else {
+            1.0 - self.output_records as f64 / self.input_records as f64
+        }
+    }
+}
+
+/// An iterator adapter that runs records through [`Hierarchy`] and yields
+/// only post-L2 misses, accumulating the filtered-out instruction gaps so
+/// the surviving records carry the correct memory intensity.
+///
+/// # Example
+///
+/// ```
+/// use unison_memhier::HierarchyFilter;
+/// use unison_trace::{workloads, WorkloadGen};
+///
+/// let raw = WorkloadGen::new(workloads::web_serving(), 3).take(10_000);
+/// let mut filter = HierarchyFilter::new(16, raw);
+/// let survivors: Vec<_> = (&mut filter).collect();
+/// assert!(survivors.len() < 10_000);
+/// assert!(filter.stats().absorption() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct HierarchyFilter<I> {
+    inner: I,
+    hierarchy: Hierarchy,
+    /// Per-core instruction gap accumulated from absorbed records.
+    pending_igap: Vec<u64>,
+    stats: FilteredStats,
+}
+
+impl<I: Iterator<Item = TraceRecord>> HierarchyFilter<I> {
+    /// Wraps `inner`, filtering through a fresh Table III hierarchy with
+    /// `cores` L1s.
+    pub fn new(cores: usize, inner: I) -> Self {
+        HierarchyFilter {
+            inner,
+            hierarchy: Hierarchy::new(cores),
+            pending_igap: vec![0; cores],
+            stats: FilteredStats::default(),
+        }
+    }
+
+    /// Filtering statistics so far.
+    pub fn stats(&self) -> &FilteredStats {
+        &self.stats
+    }
+
+    /// The underlying hierarchy (for inspecting L1/L2 stats).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> Iterator for HierarchyFilter<I> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        for rec in self.inner.by_ref() {
+            self.stats.input_records += 1;
+            let core = usize::from(rec.core) % self.pending_igap.len();
+            let absorbed = self.hierarchy.access(core, rec.addr, rec.kind.is_write());
+            if absorbed {
+                self.pending_igap[core] += u64::from(rec.igap);
+            } else {
+                self.stats.output_records += 1;
+                let carried = self.pending_igap[core];
+                self.pending_igap[core] = 0;
+                let igap = (u64::from(rec.igap) + carried).min(u64::from(u32::MAX)) as u32;
+                return Some(TraceRecord { igap, ..rec });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_trace::{workloads, WorkloadGen};
+
+    #[test]
+    fn filter_reduces_stream_and_preserves_instructions() {
+        let n = 20_000;
+        let raw: Vec<_> = WorkloadGen::new(workloads::data_serving(), 11).take(n).collect();
+        let total_instr: u64 = raw.iter().map(|r| u64::from(r.igap)).sum();
+        let mut filter = HierarchyFilter::new(16, raw.into_iter());
+        let out: Vec<_> = (&mut filter).collect();
+        assert!(out.len() < n, "hierarchy should absorb something");
+        // Instruction gaps of absorbed records are folded into survivors
+        // (minus any tail still pending per core at end of stream).
+        let out_instr: u64 = out.iter().map(|r| u64::from(r.igap)).sum();
+        assert!(out_instr <= total_instr);
+        assert!(
+            out_instr * 10 > total_instr * 5,
+            "most instructions should be carried by survivors"
+        );
+        assert_eq!(filter.stats().output_records as usize, out.len());
+    }
+
+    #[test]
+    fn repeated_block_is_fully_absorbed() {
+        let rec = |i: u32| TraceRecord {
+            core: 0,
+            kind: unison_trace::AccessKind::Read,
+            pc: 0x400,
+            addr: 0x8000,
+            igap: 10 + i,
+        };
+        let raw = (0..100).map(rec);
+        let out: Vec<_> = HierarchyFilter::new(1, raw).collect();
+        assert_eq!(out.len(), 1, "only the cold miss survives");
+    }
+}

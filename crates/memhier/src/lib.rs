@@ -1,0 +1,34 @@
+//! SRAM cache hierarchy models (L1/L2) and the post-L2 trace filter.
+//!
+//! The paper's DRAM caches sit *below* a conventional on-chip hierarchy:
+//! per-core 64 KB L1s and a shared 4 MB, 16-way L2 (Table III). The
+//! hierarchy matters because it filters temporal locality out of the
+//! reference stream — the reason block-based DRAM caches see such poor
+//! hit rates (§II-A).
+//!
+//! This crate provides a generic set-associative writeback
+//! [`SramCache`] model, the Table III [`Hierarchy`] composition, and
+//! [`HierarchyFilter`], which converts an L1-level trace into the post-L2
+//! stream a DRAM cache observes. The headline experiments use
+//! `unison-trace`'s generators, which synthesize post-L2 streams
+//! directly; this crate demonstrates the full path end-to-end and lets
+//! integration tests validate the filtering argument.
+//!
+//! # Example
+//!
+//! ```
+//! use unison_memhier::{SramCache, SramConfig};
+//!
+//! let mut l1 = SramCache::new(SramConfig::l1d());
+//! assert!(!l1.access(0x1000, false)); // cold miss
+//! assert!(l1.access(0x1000, false)); // hit
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod filter;
+mod sram;
+
+pub use filter::{FilteredStats, HierarchyFilter};
+pub use sram::{Hierarchy, SramCache, SramConfig, SramStats};

@@ -1,0 +1,308 @@
+//! Generic set-associative SRAM cache model.
+
+use serde::{Deserialize, Serialize};
+
+/// Block size of the on-chip hierarchy: 64 B (Table III).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Geometry and latency of one SRAM cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Load-to-use latency in CPU cycles (charged by the core model).
+    pub latency_cycles: u64,
+}
+
+impl SramConfig {
+    /// Table III L1-D: 64 KB, 2-cycle load-to-use. The paper doesn't
+    /// give L1 associativity; 4-way is the Cortex-A15 configuration the
+    /// core is modeled after.
+    pub fn l1d() -> Self {
+        SramConfig {
+            size_bytes: 64 << 10,
+            ways: 4,
+            latency_cycles: 2,
+        }
+    }
+
+    /// Table III L2: 4 MB, 16-way, 13-cycle hit latency.
+    pub fn l2() -> Self {
+        SramConfig {
+            size_bytes: 4 << 20,
+            ways: 16,
+            latency_cycles: 13,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (BLOCK_BYTES * u64::from(self.ways))
+    }
+}
+
+/// Hit/miss/writeback counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramStats {
+    /// Lookups served.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Dirty blocks evicted (handed to the next level).
+    pub writebacks: u64,
+}
+
+impl SramStats {
+    /// Miss ratio of this level.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    stamp: u32,
+}
+
+/// A set-associative, writeback, write-allocate SRAM cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct SramCache {
+    cfg: SramConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    clock: u32,
+    stats: SramStats,
+}
+
+impl SramCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero sets.
+    pub fn new(cfg: SramConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache too small for its associativity");
+        SramCache {
+            sets,
+            lines: vec![Line::default(); (sets * u64::from(cfg.ways)) as usize],
+            clock: 0,
+            stats: SramStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration of this level.
+    pub fn config(&self) -> &SramConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SramStats {
+        &self.stats
+    }
+
+    fn line(&mut self, set: u64, way: u32) -> &mut Line {
+        &mut self.lines[(set * u64::from(self.cfg.ways) + u64::from(way)) as usize]
+    }
+
+    /// Presents an access; returns `true` on hit. On miss the block is
+    /// allocated (write-allocate for stores); a dirty victim increments
+    /// the writeback counter and is returned so the caller can hand it
+    /// down the hierarchy.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.access_full(addr, is_write).0
+    }
+
+    /// Like [`Self::access`], also returning the evicted dirty block's
+    /// address, if any.
+    pub fn access_full(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
+        self.clock = self.clock.wrapping_add(1);
+        self.stats.accesses += 1;
+        let bn = addr / BLOCK_BYTES;
+        let set = bn % self.sets;
+        let tag = bn / self.sets;
+        let clock = self.clock;
+
+        for w in 0..self.cfg.ways {
+            let l = self.line(set, w);
+            if l.valid && l.tag == tag {
+                l.stamp = clock;
+                if is_write {
+                    l.dirty = true;
+                }
+                self.stats.hits += 1;
+                return (true, None);
+            }
+        }
+
+        // Miss: pick an invalid way or the LRU one.
+        let victim = (0..self.cfg.ways)
+            .find(|&w| !self.line(set, w).valid)
+            .unwrap_or_else(|| {
+                (0..self.cfg.ways)
+                    .min_by_key(|&w| self.line(set, w).stamp)
+                    .expect("ways >= 1")
+            });
+        let sets = self.sets;
+        let old = *self.line(set, victim);
+        let evicted = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some((old.tag * sets + set) * BLOCK_BYTES)
+        } else {
+            None
+        };
+        *self.line(set, victim) = Line {
+            valid: true,
+            dirty: is_write,
+            tag,
+            stamp: clock,
+        };
+        (false, evicted)
+    }
+}
+
+/// The Table III on-chip hierarchy: per-core L1-D caches in front of one
+/// shared L2.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Vec<SramCache>,
+    l2: SramCache,
+}
+
+impl Hierarchy {
+    /// Builds `cores` private L1s plus the shared L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Hierarchy {
+            l1: (0..cores).map(|_| SramCache::new(SramConfig::l1d())).collect(),
+            l2: SramCache::new(SramConfig::l2()),
+        }
+    }
+
+    /// Presents an access from `core`; returns `true` if it was absorbed
+    /// on-chip (L1 or L2 hit) and `false` if it becomes a post-L2 miss.
+    /// L1 dirty victims are installed into the L2 (writeback path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> bool {
+        let (l1_hit, evicted) = self.l1[core].access_full(addr, is_write);
+        if let Some(victim) = evicted {
+            // L1 writeback lands in L2 (allocate-on-writeback).
+            let _ = self.l2.access(victim, true);
+        }
+        if l1_hit {
+            return true;
+        }
+        self.l2.access(addr, is_write)
+    }
+
+    /// L1 statistics for `core`.
+    pub fn l1_stats(&self, core: usize) -> &SramStats {
+        self.l1[core].stats()
+    }
+
+    /// Shared-L2 statistics.
+    pub fn l2_stats(&self) -> &SramStats {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_geometries() {
+        assert_eq!(SramConfig::l1d().sets(), 256);
+        assert_eq!(SramConfig::l2().sets(), 4096);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = SramCache::new(SramConfig::l1d());
+        assert!(!c.access(0x40, false));
+        assert!(c.access(0x40, false));
+        assert!(c.access(0x7f, false), "same block");
+        assert!(!c.access(0x80, false), "next block");
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let cfg = SramConfig {
+            size_bytes: 4 * 64,
+            ways: 4,
+            latency_cycles: 1,
+        }; // one set, 4 ways
+        let mut c = SramCache::new(cfg);
+        for i in 0..4u64 {
+            c.access(i * 64, false);
+        }
+        // Touch block 0 to refresh it, then insert a 5th block.
+        assert!(c.access(0, false));
+        assert!(!c.access(4 * 64, false));
+        // Victim must be block 1 (the LRU), not block 0.
+        assert!(c.access(0, false));
+        assert!(!c.access(64, false));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let cfg = SramConfig {
+            size_bytes: 64,
+            ways: 1,
+            latency_cycles: 1,
+        }; // one line
+        let mut c = SramCache::new(cfg);
+        c.access(0, true);
+        let (_, evicted) = c.access_full(64, false);
+        assert_eq!(evicted, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn hierarchy_filters_temporal_locality() {
+        let mut h = Hierarchy::new(2);
+        // Core 0 hammers one block: only the first access escapes L1.
+        let mut post_l2 = 0;
+        for _ in 0..100 {
+            if !h.access(0, 0x1234_0000, false) {
+                post_l2 += 1;
+            }
+        }
+        assert_eq!(post_l2, 1);
+        assert!(h.l1_stats(0).miss_ratio() < 0.05);
+    }
+
+    #[test]
+    fn l2_catches_l1_conflicts() {
+        let mut h = Hierarchy::new(1);
+        // Two blocks conflicting in L1 (same L1 set, 4-way needs 5
+        // conflicting blocks) but co-resident in the bigger L2.
+        let l1_sets = SramConfig::l1d().sets();
+        let stride = l1_sets * BLOCK_BYTES;
+        let addrs: Vec<u64> = (0..5).map(|i| i * stride).collect();
+        // First pass: all post-L2 misses.
+        let misses1: usize = addrs.iter().filter(|&&a| !h.access(0, a, false)).count();
+        assert_eq!(misses1, 5);
+        // Second pass: L1 thrashes but L2 absorbs everything.
+        let misses2: usize = addrs.iter().filter(|&&a| !h.access(0, a, false)).count();
+        assert_eq!(misses2, 0);
+    }
+}

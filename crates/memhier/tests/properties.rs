@@ -1,0 +1,60 @@
+//! Property-based tests for the SRAM cache models.
+
+use proptest::prelude::*;
+use unison_memhier::{SramCache, SramConfig};
+
+proptest! {
+    /// A just-accessed block always hits immediately after (the LRU
+    /// policy can never evict the MRU line).
+    #[test]
+    fn mru_line_is_stable(addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut c = SramCache::new(SramConfig {
+            size_bytes: 8 << 10,
+            ways: 2,
+            latency_cycles: 1,
+        });
+        for addr in addrs {
+            let _ = c.access(addr, false);
+            prop_assert!(c.access(addr, false), "MRU block missed @{addr:#x}");
+        }
+    }
+
+    /// Hit/miss accounting is consistent: accesses = hits + misses, and
+    /// writebacks never exceed misses (only evictions write back).
+    #[test]
+    fn accounting_is_consistent(
+        steps in proptest::collection::vec((0u64..(1 << 16), any::<bool>()), 1..500),
+    ) {
+        let mut c = SramCache::new(SramConfig {
+            size_bytes: 4 << 10,
+            ways: 4,
+            latency_cycles: 1,
+        });
+        for &(addr, w) in &steps {
+            let _ = c.access(addr, w);
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.accesses, steps.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.writebacks <= s.accesses - s.hits);
+    }
+
+    /// A cache with more ways never has a *higher* miss count on the
+    /// same trace (LRU is a stack algorithm at fixed capacity... per set;
+    /// we check the common case with identical set counts scaled by
+    /// ways, which preserves the inclusion property per address).
+    #[test]
+    fn more_capacity_never_hurts(addrs in proptest::collection::vec(0u64..(1 << 14), 1..400)) {
+        let small = SramConfig { size_bytes: 2 << 10, ways: 4, latency_cycles: 1 };
+        let large = SramConfig { size_bytes: 8 << 10, ways: 16, latency_cycles: 1 };
+        let mut cs = SramCache::new(small);
+        let mut cl = SramCache::new(large);
+        for &a in &addrs {
+            let _ = cs.access(a, false);
+            let _ = cl.access(a, false);
+        }
+        // Same set count (32) with 4x the ways: LRU inclusion holds.
+        prop_assert_eq!(small.sets(), large.sets());
+        prop_assert!(cl.stats().hits >= cs.stats().hits);
+    }
+}

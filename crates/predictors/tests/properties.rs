@@ -1,0 +1,101 @@
+//! Property-based tests for the predictor structures.
+
+use proptest::prelude::*;
+use unison_predictors::{fold_hash, Footprint, FootprintTable, MissPredictor, WayPredictor};
+
+proptest! {
+    /// Footprint set algebra obeys the identities the under/over-
+    /// prediction accounting relies on:
+    /// `actual = (actual ∩ predicted) ∪ (actual − predicted)` and the
+    /// two parts are disjoint.
+    #[test]
+    fn footprint_partition_identity(a in any::<u64>(), p in any::<u64>(), blocks in 1u32..=64) {
+        let actual = Footprint::from_mask(a, blocks);
+        let predicted = Footprint::from_mask(p, blocks);
+        let covered = actual.intersect(&predicted);
+        let under = actual.minus(&predicted);
+        prop_assert_eq!(covered.union(&under).mask(), actual.mask());
+        prop_assert_eq!(covered.intersect(&under).mask(), 0);
+        // Overfetch is disjoint from actual.
+        let over = predicted.minus(&actual);
+        prop_assert_eq!(over.intersect(&actual).mask(), 0);
+        // Sizes add up.
+        prop_assert_eq!(covered.len() + under.len(), actual.len());
+        prop_assert_eq!(covered.len() + over.len(), predicted.len());
+    }
+
+    /// The footprint table matches a reference model of its per-block
+    /// 2-bit counters: present blocks increment (new entries start at 2),
+    /// absent blocks decrement, prediction is counter >= 2.
+    #[test]
+    fn footprint_table_matches_counter_reference(
+        keys in proptest::collection::vec((0u64..8, 0u32..4, any::<u64>()), 1..80)
+    ) {
+        let mut t = FootprintTable::new(1024, 4, 15);
+        let mut model: std::collections::HashMap<(u64, u32), [u8; 15]> =
+            std::collections::HashMap::new();
+        let mut seen: std::collections::HashSet<(u64, u32)> = std::collections::HashSet::new();
+        for (pc, off, mask) in keys {
+            let fp = Footprint::from_mask(mask, 15);
+            t.train(pc, off, fp);
+            let first_training = seen.insert((pc, off));
+            let counters = model.entry((pc, off)).or_insert([0; 15]);
+            for b in 0..15 {
+                let present = fp.contains(b as u32);
+                counters[b] = match (first_training, present) {
+                    (true, true) => 2,
+                    (true, false) => 0,
+                    (false, true) => (counters[b] + 1).min(3),
+                    (false, false) => counters[b].saturating_sub(1),
+                };
+            }
+        }
+        // 8 pcs x 4 offsets = 32 keys over 4096 slots: no evictions, so
+        // every key must match the reference exactly.
+        for ((pc, off), counters) in model {
+            let expect: u64 = (0..15)
+                .filter(|&b| counters[b] >= 2)
+                .map(|b| 1u64 << b)
+                .sum();
+            let got = t.predict(pc, off).expect("entry must exist");
+            prop_assert_eq!(got.mask(), expect, "key ({}, {})", pc, off);
+        }
+    }
+
+    /// fold_hash is stable and in-range for any width.
+    #[test]
+    fn fold_hash_in_range(x in any::<u64>(), bits in 1u32..=63) {
+        let h = fold_hash(x, bits);
+        prop_assert!(h < (1u64 << bits));
+        prop_assert_eq!(h, fold_hash(x, bits));
+    }
+
+    /// The way predictor converges: after updating with a fixed way, the
+    /// next prediction for the same page returns that way.
+    #[test]
+    fn way_predictor_converges(pages in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut wp = WayPredictor::new(12, 4);
+        for (i, &p) in pages.iter().enumerate() {
+            let w = (i as u32) % 4;
+            wp.update(p, w);
+            prop_assert_eq!(wp.predict(p), w);
+        }
+    }
+
+    /// The miss predictor's counters never leave their 3-bit range and
+    /// predictions stay consistent with counter polarity.
+    #[test]
+    fn miss_predictor_is_bounded(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut mp = MissPredictor::new(1, 4);
+        for &hit in &outcomes {
+            mp.update(0, 0xabc, hit);
+            let _ = mp.predict(0, 0xabc);
+        }
+        // All-hits must end in Hit prediction; all-misses in Miss.
+        let mut all_hit = MissPredictor::new(1, 4);
+        for _ in 0..outcomes.len() {
+            all_hit.update(0, 0xabc, true);
+        }
+        prop_assert_eq!(all_hit.predict(0, 0xabc), unison_predictors::MissPrediction::Hit);
+    }
+}

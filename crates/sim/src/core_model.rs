@@ -1,0 +1,123 @@
+//! The interval-style core timing model.
+
+use serde::{Deserialize, Serialize};
+use unison_dram::{cpu_cycles_to_ps, Ps};
+
+/// Timing parameters of one modeled core (an ARM Cortex-A15-like 3-way
+/// OoO at 3 GHz, per Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreParams {
+    /// Sustained non-memory IPC: how fast instruction gaps between
+    /// post-L2 accesses retire (includes L1/L2 hit costs, which are part
+    /// of the gap in post-L2 traces).
+    pub ipc_base: f64,
+    /// Memory latency (in CPU cycles) the out-of-order window hides per
+    /// load before the core actually stalls.
+    pub overlap_cycles: u64,
+    /// Whether stores stall the core (an OoO core with store buffers
+    /// retires past stores; they still consume DRAM bandwidth).
+    pub stall_on_stores: bool,
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams {
+            ipc_base: 2.0,
+            overlap_cycles: 24,
+            stall_on_stores: false,
+        }
+    }
+}
+
+impl CoreParams {
+    /// Picoseconds needed to execute `instructions` of non-memory work.
+    pub fn compute_ps(&self, instructions: u64) -> Ps {
+        let cycles = (instructions as f64 / self.ipc_base).ceil() as u64;
+        cpu_cycles_to_ps(cycles)
+    }
+
+    /// The OoO overlap window in picoseconds.
+    pub fn overlap_ps(&self) -> Ps {
+        cpu_cycles_to_ps(self.overlap_cycles)
+    }
+}
+
+/// Per-core progress state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreClock {
+    /// Local time: when this core finishes everything issued so far.
+    pub time_ps: Ps,
+    /// User instructions retired.
+    pub instructions: u64,
+    /// Picoseconds spent stalled on memory.
+    pub stall_ps: Ps,
+}
+
+impl CoreClock {
+    /// Advances past `igap` instructions of compute, returning the issue
+    /// time of the access that follows.
+    pub fn advance_compute(&mut self, params: &CoreParams, igap: u64) -> Ps {
+        self.time_ps += params.compute_ps(igap);
+        self.instructions += igap;
+        self.time_ps
+    }
+
+    /// Applies the stall of a load whose data arrives at `ready_ps`,
+    /// given it issued at `issue_ps`.
+    pub fn apply_load(&mut self, params: &CoreParams, issue_ps: Ps, ready_ps: Ps) {
+        let latency = ready_ps.saturating_sub(issue_ps);
+        let stall = latency.saturating_sub(params.overlap_ps());
+        self.time_ps += stall;
+        self.stall_ps += stall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_scales_with_ipc() {
+        let fast = CoreParams {
+            ipc_base: 4.0,
+            ..CoreParams::default()
+        };
+        let slow = CoreParams {
+            ipc_base: 1.0,
+            ..CoreParams::default()
+        };
+        assert!(fast.compute_ps(1000) < slow.compute_ps(1000));
+        // 1000 instructions at IPC 1 = 1000 cycles = 333,334 ps.
+        assert_eq!(slow.compute_ps(1000), cpu_cycles_to_ps(1000));
+    }
+
+    #[test]
+    fn short_latencies_are_fully_hidden() {
+        let p = CoreParams::default();
+        let mut c = CoreClock::default();
+        let issue = c.advance_compute(&p, 100);
+        // Data ready within the overlap window: no stall.
+        c.apply_load(&p, issue, issue + p.overlap_ps() / 2);
+        assert_eq!(c.stall_ps, 0);
+    }
+
+    #[test]
+    fn long_latencies_stall_the_remainder() {
+        let p = CoreParams::default();
+        let mut c = CoreClock::default();
+        let issue = c.advance_compute(&p, 100);
+        let ready = issue + p.overlap_ps() + 10_000;
+        c.apply_load(&p, issue, ready);
+        assert_eq!(c.stall_ps, 10_000);
+        assert_eq!(c.time_ps, issue + 10_000);
+    }
+
+    #[test]
+    fn instructions_accumulate() {
+        let p = CoreParams::default();
+        let mut c = CoreClock::default();
+        c.advance_compute(&p, 100);
+        c.advance_compute(&p, 250);
+        assert_eq!(c.instructions, 350);
+    }
+}

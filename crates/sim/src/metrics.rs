@@ -1,0 +1,104 @@
+//! Experiment result records.
+
+use serde::{Deserialize, Serialize};
+use unison_core::CacheStats;
+use unison_dram::{DramStats, EnergyCounters, Ps};
+
+/// The complete outcome of one (design, size, workload) simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Design display name.
+    pub design: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Cache capacity in bytes (0 for the no-cache baseline).
+    pub cache_bytes: u64,
+    /// Records simulated in the measurement region.
+    pub measured_accesses: u64,
+    /// Instructions retired in the measurement region.
+    pub instructions: u64,
+    /// Pod elapsed time over the measurement region.
+    pub elapsed_ps: Ps,
+    /// User instructions per CPU cycle across the pod — the paper's
+    /// performance metric (§IV-A).
+    pub uipc: f64,
+    /// Cache-design statistics over the measurement region.
+    pub cache: CacheStats,
+    /// Stacked-DRAM device statistics.
+    pub stacked: DramStats,
+    /// Off-chip device statistics.
+    pub offchip: DramStats,
+    /// Stacked-DRAM dynamic-energy counters.
+    pub stacked_energy: EnergyCounters,
+    /// Off-chip dynamic-energy counters.
+    pub offchip_energy: EnergyCounters,
+}
+
+impl RunResult {
+    /// Off-chip traffic per retired kilo-instruction, in bytes — the
+    /// bandwidth-efficiency lens of §V.A.
+    pub fn offchip_bytes_per_kilo_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cache.offchip_bytes() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Total DRAM row activations (stacked + off-chip) per kilo-
+    /// instruction — the §V.D energy proxy.
+    pub fn activations_per_kilo_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.stacked_energy.activations + self.offchip_energy.activations) as f64 * 1000.0
+                / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            design: "Test".into(),
+            workload: "W".into(),
+            cache_bytes: 1 << 30,
+            measured_accesses: 10,
+            instructions: 2000,
+            elapsed_ps: 1_000_000,
+            uipc: 1.0,
+            cache: CacheStats {
+                offchip_read_bytes: 640,
+                offchip_write_bytes: 360,
+                ..Default::default()
+            },
+            stacked: DramStats::default(),
+            offchip: DramStats::default(),
+            stacked_energy: EnergyCounters {
+                activations: 4,
+                ..Default::default()
+            },
+            offchip_energy: EnergyCounters {
+                activations: 6,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = result();
+        assert!((r.offchip_bytes_per_kilo_instr() - 500.0).abs() < 1e-9);
+        assert!((r.activations_per_kilo_instr() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = result();
+        let j = serde_json::to_string(&r).expect("serialize");
+        assert!(j.contains("\"design\":\"Test\""));
+    }
+}

@@ -1,0 +1,269 @@
+//! Experiment runner: (design, size, workload) → [`RunResult`].
+
+use serde::{Deserialize, Serialize};
+use unison_core::{
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache, MemPorts,
+    NoCache, UnisonCache, UnisonConfig,
+};
+use unison_trace::{WorkloadGen, WorkloadSpec};
+
+use crate::core_model::CoreParams;
+use crate::metrics::RunResult;
+use crate::system::System;
+
+/// The cache designs the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// Alloy Cache (block-based baseline).
+    Alloy,
+    /// Footprint Cache (page-based baseline, SRAM tags).
+    Footprint,
+    /// Unison Cache, 960 B pages, 4-way (the paper's default).
+    Unison,
+    /// Unison Cache with 1984 B pages (Table V variant).
+    Unison1984,
+    /// Unison Cache with explicit associativity (Figure 5).
+    UnisonAssoc(u32),
+    /// The ideal 100%-hit reference.
+    Ideal,
+    /// No DRAM cache (speedup baseline).
+    NoCache,
+}
+
+impl Design {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Design::Alloy => "Alloy".into(),
+            Design::Footprint => "Footprint".into(),
+            Design::Unison => "Unison".into(),
+            Design::Unison1984 => "Unison-1984B".into(),
+            Design::UnisonAssoc(w) => format!("Unison-{w}way"),
+            Design::Ideal => "Ideal".into(),
+            Design::NoCache => "NoCache".into(),
+        }
+    }
+
+    /// Instantiates the design at `cache_bytes`.
+    pub fn build(&self, cache_bytes: u64) -> Box<dyn DramCacheModel> {
+        self.build_scaled(cache_bytes, cache_bytes)
+    }
+
+    /// Instantiates the design at the *scaled* capacity while deriving
+    /// size-dependent structures (Footprint Cache's SRAM tag latency, the
+    /// way-predictor sizing rule) from the *nominal* paper-labeled size —
+    /// those latencies are the effect under study and must not shrink
+    /// with the fast-run scale factor.
+    pub fn build_scaled(&self, scaled_bytes: u64, nominal_bytes: u64) -> Box<dyn DramCacheModel> {
+        match self {
+            Design::Alloy => Box::new(AlloyCache::new(AlloyConfig::new(scaled_bytes))),
+            Design::Footprint => Box::new(FootprintCache::new(
+                FootprintConfig::new(scaled_bytes).with_nominal(nominal_bytes),
+            )),
+            Design::Unison => Box::new(UnisonCache::new(
+                UnisonConfig::new(scaled_bytes).with_nominal(nominal_bytes),
+            )),
+            Design::Unison1984 => Box::new(UnisonCache::new(
+                UnisonConfig::large_pages(scaled_bytes).with_nominal(nominal_bytes),
+            )),
+            Design::UnisonAssoc(w) => Box::new(UnisonCache::new(
+                UnisonConfig::new(scaled_bytes)
+                    .with_assoc(*w)
+                    .with_nominal(nominal_bytes),
+            )),
+            Design::Ideal => Box::new(IdealCache::new(scaled_bytes)),
+            Design::NoCache => Box::new(NoCache::new()),
+        }
+    }
+}
+
+/// Simulation-scale parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total trace records per run (warmup + measurement).
+    pub accesses: u64,
+    /// Fraction of records used for warmup (statistics discarded). The
+    /// paper uses two thirds of each trace (§IV-A).
+    pub warmup_fraction: f64,
+    /// Core timing parameters.
+    pub core: CoreParams,
+    /// Trace seed.
+    pub seed: u64,
+    /// Divide workload footprints *and* cache sizes by this factor to
+    /// trade fidelity for runtime; shapes are preserved because cache
+    /// and working set shrink together (see DESIGN.md §4).
+    pub scale: u64,
+}
+
+impl SimConfig {
+    /// Full-fidelity defaults (slow; used for final EXPERIMENTS.md runs).
+    pub fn full() -> Self {
+        SimConfig {
+            accesses: 24_000_000,
+            warmup_fraction: 2.0 / 3.0,
+            core: CoreParams::default(),
+            seed: 42,
+            scale: 1,
+        }
+    }
+
+    /// Bench defaults: ÷8 scale, enough accesses for steady state at the
+    /// scaled sizes.
+    pub fn bench_default() -> Self {
+        SimConfig {
+            accesses: 6_000_000,
+            warmup_fraction: 2.0 / 3.0,
+            core: CoreParams::default(),
+            seed: 42,
+            scale: 8,
+        }
+    }
+
+    /// Tiny runs for unit/integration tests.
+    pub fn quick_test() -> Self {
+        SimConfig {
+            accesses: 120_000,
+            warmup_fraction: 0.5,
+            core: CoreParams::default(),
+            seed: 42,
+            scale: 64,
+        }
+    }
+
+    /// Applies the scale factor to a nominal (paper-labeled) cache size.
+    pub fn scaled_cache_bytes(&self, nominal: u64) -> u64 {
+        (nominal / self.scale).max(1 << 20)
+    }
+
+    /// Trace length for a run against a cache of `scaled_bytes`: at least
+    /// the configured floor, and enough that the warmup region can fill
+    /// the cache about twice over (≈ one 64 B block fetched per access),
+    /// so the measurement region sees steady-state behaviour.
+    pub fn accesses_for(&self, scaled_bytes: u64) -> u64 {
+        self.accesses.max(3 * scaled_bytes / 64)
+    }
+}
+
+/// Runs one experiment: `design` at nominal `cache_bytes` (scaled per
+/// `cfg`) over `spec` (footprint scaled likewise).
+///
+/// The returned [`RunResult`] reports the *nominal* cache size.
+pub fn run_experiment(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+) -> RunResult {
+    let scaled_spec = spec.clone().scaled(cfg.scale);
+    let scaled_cache = cfg.scaled_cache_bytes(cache_bytes);
+    let mut trace = WorkloadGen::new(scaled_spec, cfg.seed);
+    let cache = design.build_scaled(scaled_cache, cache_bytes.max(1));
+    let mut sys = System::new(
+        spec.cores as usize,
+        cache,
+        MemPorts::paper_default(),
+        cfg.core,
+    );
+
+    let total = cfg.accesses_for(scaled_cache);
+    let warmup = (total as f64 * cfg.warmup_fraction) as u64;
+    sys.run(&mut trace, warmup);
+    let before = sys.progress();
+    sys.reset_measurement();
+    let measured = sys.run(&mut trace, total - warmup);
+    let after = sys.progress();
+
+    let instructions = after.instructions - before.instructions;
+    let elapsed_ps = after.elapsed_ps.saturating_sub(before.elapsed_ps).max(1);
+    // UIPC at 3 GHz: instructions / cycles, cycles = ps * 3 / 1000.
+    let cycles = (elapsed_ps * 3) as f64 / 1000.0;
+    let (cache, mem) = sys.into_parts();
+
+    RunResult {
+        design: design.name(),
+        workload: spec.name.to_string(),
+        cache_bytes,
+        measured_accesses: measured,
+        instructions,
+        elapsed_ps,
+        uipc: instructions as f64 / cycles,
+        cache: *cache.stats(),
+        stacked: *mem.stacked.stats(),
+        offchip: *mem.offchip.stats(),
+        stacked_energy: *mem.stacked.energy(),
+        offchip_energy: *mem.offchip.energy(),
+    }
+}
+
+/// A design's result paired with its speedup over the no-cache baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupResult {
+    /// The design's run.
+    pub run: RunResult,
+    /// `design UIPC / NoCache UIPC` — the y-axis of Figures 7 and 8.
+    pub speedup: f64,
+}
+
+/// Runs `design` and the no-cache baseline under identical conditions
+/// and returns the speedup.
+pub fn run_speedup(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+) -> SpeedupResult {
+    let run = run_experiment(design, cache_bytes, spec, cfg);
+    let base = run_experiment(Design::NoCache, 0, spec, cfg);
+    SpeedupResult {
+        speedup: run.uipc / base.uipc,
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_trace::workloads;
+
+    #[test]
+    fn design_names_are_stable() {
+        assert_eq!(Design::Unison.name(), "Unison");
+        assert_eq!(Design::UnisonAssoc(32).name(), "Unison-32way");
+    }
+
+    #[test]
+    fn quick_experiment_produces_sane_results() {
+        let cfg = SimConfig::quick_test();
+        let r = run_experiment(Design::Unison, 128 << 20, &workloads::web_search(), &cfg);
+        assert_eq!(r.design, "Unison");
+        assert!(r.uipc > 0.0 && r.uipc < 64.0);
+        assert!(r.cache.accesses > 0);
+        assert!(r.cache.miss_ratio() < 1.0);
+        assert!(r.measured_accesses > 0);
+    }
+
+    #[test]
+    fn warmup_region_is_excluded_from_stats() {
+        let cfg = SimConfig::quick_test();
+        let r = run_experiment(Design::Alloy, 128 << 20, &workloads::web_serving(), &cfg);
+        let expected = cfg.accesses - (cfg.accesses as f64 * cfg.warmup_fraction) as u64;
+        assert_eq!(r.cache.accesses, expected);
+    }
+
+    #[test]
+    fn speedup_of_ideal_exceeds_one() {
+        let cfg = SimConfig::quick_test();
+        let s = run_speedup(Design::Ideal, 1 << 30, &workloads::data_serving(), &cfg);
+        assert!(
+            s.speedup > 1.0,
+            "ideal cache must beat no cache, got {}",
+            s.speedup
+        );
+    }
+
+    #[test]
+    fn scaled_cache_sizes_have_floor() {
+        let cfg = SimConfig::quick_test();
+        assert_eq!(cfg.scaled_cache_bytes(64 << 20), 1 << 20);
+    }
+}

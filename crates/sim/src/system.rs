@@ -1,0 +1,246 @@
+//! The multicore system driver.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use unison_core::{DramCacheModel, MemPorts, Request};
+use unison_dram::Ps;
+use unison_trace::TraceRecord;
+
+use crate::core_model::{CoreClock, CoreParams};
+
+/// A 16-core (configurable) pod driving one DRAM cache design over a
+/// trace, presenting requests to the memory system in global
+/// arrival-time order.
+#[derive(Debug)]
+pub struct System<C> {
+    cache: C,
+    mem: MemPorts,
+    params: CoreParams,
+    cores: Vec<CoreClock>,
+}
+
+/// Snapshot of progress counters at a point in time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Progress {
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// The slowest core's local time (the pod's elapsed time).
+    pub elapsed_ps: Ps,
+    /// Total memory stall time across cores.
+    pub stall_ps: Ps,
+}
+
+impl<C: DramCacheModel> System<C> {
+    /// Builds a system of `cores` cores around `cache` and `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, cache: C, mem: MemPorts, params: CoreParams) -> Self {
+        assert!(cores > 0, "need at least one core");
+        System {
+            cache,
+            mem,
+            params,
+            cores: vec![CoreClock::default(); cores],
+        }
+    }
+
+    /// The cache under test.
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// The shared memory devices.
+    pub fn mem(&self) -> &MemPorts {
+        &self.mem
+    }
+
+    /// Current progress counters.
+    pub fn progress(&self) -> Progress {
+        Progress {
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            elapsed_ps: self.cores.iter().map(|c| c.time_ps).max().unwrap_or(0),
+            stall_ps: self.cores.iter().map(|c| c.stall_ps).sum(),
+        }
+    }
+
+    /// Clears cache and DRAM statistics (the warmup boundary). Core
+    /// clocks keep running — callers snapshot [`Self::progress`] before
+    /// and after the measurement region instead.
+    pub fn reset_measurement(&mut self) {
+        self.cache.reset_stats();
+        self.mem.reset_stats();
+    }
+
+    /// Runs up to `limit` records from `trace`, interleaving cores by
+    /// issue time. Returns the number of records consumed.
+    ///
+    /// Records are buffered per core (the trace arrives in per-core
+    /// program order but arbitrary global order) and dispatched through a
+    /// min-heap keyed on each core's next issue time, so the memory
+    /// system observes a globally time-ordered request stream.
+    pub fn run<I>(&mut self, trace: &mut I, limit: u64) -> u64
+    where
+        I: Iterator<Item = TraceRecord>,
+    {
+        let n_cores = self.cores.len();
+        let mut bufs: Vec<VecDeque<TraceRecord>> = vec![VecDeque::new(); n_cores];
+        // Heap of Reverse((issue_time, core)) for cores with a computed
+        // head-of-line issue time.
+        let mut heap: BinaryHeap<Reverse<(Ps, usize)>> = BinaryHeap::new();
+        let mut consumed = 0u64;
+        let mut exhausted = false;
+
+        // Pulls records until `core`'s buffer is non-empty (or the trace
+        // ends), stashing other cores' records in their buffers.
+        fn refill<I: Iterator<Item = TraceRecord>>(
+            trace: &mut I,
+            bufs: &mut [VecDeque<TraceRecord>],
+            core: usize,
+            exhausted: &mut bool,
+        ) {
+            while bufs[core].is_empty() && !*exhausted {
+                match trace.next() {
+                    Some(r) => {
+                        let c = usize::from(r.core) % bufs.len();
+                        bufs[c].push_back(r);
+                    }
+                    None => *exhausted = true,
+                }
+            }
+        }
+
+        // Prime every core.
+        for c in 0..n_cores {
+            refill(trace, &mut bufs, c, &mut exhausted);
+            if let Some(r) = bufs[c].front() {
+                let issue = self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
+                heap.push(Reverse((issue, c)));
+            }
+        }
+
+        while consumed < limit {
+            let Some(Reverse((_, c))) = heap.pop() else {
+                break;
+            };
+            let Some(rec) = bufs[c].pop_front() else {
+                continue;
+            };
+            // Advance the core's clock through the instruction gap.
+            let issue = self.cores[c].advance_compute(&self.params, u64::from(rec.igap));
+            let req = Request {
+                core: rec.core,
+                pc: rec.pc,
+                addr: rec.addr,
+                is_write: rec.kind.is_write(),
+            };
+            let access = self.cache.access(issue, &req, &mut self.mem);
+            if !req.is_write || self.params.stall_on_stores {
+                self.cores[c].apply_load(&self.params, issue, access.critical_ps);
+            }
+            consumed += 1;
+
+            refill(trace, &mut bufs, c, &mut exhausted);
+            if let Some(r) = bufs[c].front() {
+                let next_issue =
+                    self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
+                heap.push(Reverse((next_issue, c)));
+            }
+        }
+        consumed
+    }
+
+    /// Consumes the system, returning its parts (cache, memory).
+    pub fn into_parts(self) -> (C, MemPorts) {
+        (self.cache, self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_core::{IdealCache, NoCache};
+    use unison_trace::{workloads, WorkloadGen};
+
+    #[test]
+    fn runs_requested_number_of_records() {
+        let mut sys = System::new(
+            16,
+            NoCache::new(),
+            MemPorts::paper_default(),
+            CoreParams::default(),
+        );
+        let mut trace = WorkloadGen::new(workloads::web_serving(), 1);
+        let n = sys.run(&mut trace, 10_000);
+        assert_eq!(n, 10_000);
+        let p = sys.progress();
+        assert!(p.instructions > 0);
+        assert!(p.elapsed_ps > 0);
+        assert_eq!(sys.cache().stats().accesses, 10_000);
+    }
+
+    #[test]
+    fn finite_trace_ends_cleanly() {
+        let mut sys = System::new(
+            4,
+            NoCache::new(),
+            MemPorts::paper_default(),
+            CoreParams::default(),
+        );
+        let recs: Vec<_> = WorkloadGen::new(workloads::web_search(), 2).take(500).collect();
+        let mut iter = recs.into_iter();
+        let n = sys.run(&mut iter, 1_000_000);
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn ideal_cache_outperforms_no_cache() {
+        let spec = workloads::data_serving();
+        let run = |cache_is_ideal: bool| -> f64 {
+            let mut trace = WorkloadGen::new(spec.clone(), 3);
+            let params = CoreParams::default();
+            if cache_is_ideal {
+                let mut sys = System::new(
+                    16,
+                    IdealCache::new(1 << 30),
+                    MemPorts::paper_default(),
+                    params,
+                );
+                sys.run(&mut trace, 30_000);
+                let p = sys.progress();
+                p.instructions as f64 / p.elapsed_ps as f64
+            } else {
+                let mut sys =
+                    System::new(16, NoCache::new(), MemPorts::paper_default(), params);
+                sys.run(&mut trace, 30_000);
+                let p = sys.progress();
+                p.instructions as f64 / p.elapsed_ps as f64
+            }
+        };
+        let ideal = run(true);
+        let baseline = run(false);
+        assert!(
+            ideal > baseline * 1.1,
+            "ideal {ideal:.6} should clearly beat no-cache {baseline:.6}"
+        );
+    }
+
+    #[test]
+    fn stall_time_accumulates_for_memory_bound_runs() {
+        let mut sys = System::new(
+            16,
+            NoCache::new(),
+            MemPorts::paper_default(),
+            CoreParams::default(),
+        );
+        let mut trace = WorkloadGen::new(workloads::data_serving(), 5);
+        sys.run(&mut trace, 20_000);
+        let p = sys.progress();
+        assert!(
+            p.stall_ps > p.elapsed_ps / 4,
+            "an uncached memory-bound run must be stall-dominated"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Compact binary trace encoding.
+//!
+//! Fixed 22-byte little-endian records with a 16-byte header. The format
+//! exists so a calibrated trace can be frozen as an artifact and re-read
+//! bit-identically, independent of generator evolution.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{AccessKind, TraceRecord};
+
+/// Magic bytes identifying a trace stream.
+pub const MAGIC: &[u8; 8] = b"UNISONTR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const RECORD_BYTES: usize = 1 + 1 + 8 + 8 + 4;
+
+/// Errors produced while decoding a trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream's version is not supported.
+    BadVersion(u32),
+    /// The stream ended in the middle of a record.
+    Truncated,
+    /// A record contained an invalid access-kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "stream does not begin with the trace magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "stream ended mid-record"),
+            DecodeError::BadKind(k) => write!(f, "invalid access kind byte {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes records into a self-describing byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use unison_trace::codec::{encode, decode};
+/// use unison_trace::{AccessKind, TraceRecord};
+///
+/// let recs = vec![TraceRecord { core: 1, kind: AccessKind::Read, pc: 0x400, addr: 4096, igap: 12 }];
+/// let bytes = encode(&recs);
+/// assert_eq!(decode(&bytes)?, recs);
+/// # Ok::<(), unison_trace::codec::DecodeError>(())
+/// ```
+pub fn encode(records: &[TraceRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * RECORD_BYTES);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(0); // reserved
+    for r in records {
+        buf.put_u8(r.core);
+        buf.put_u8(match r.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+        buf.put_u64_le(r.pc);
+        buf.put_u64_le(r.addr);
+        buf.put_u32_le(r.igap);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on any malformed input; never panics.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+    if buf.len() < 16 {
+        return Err(DecodeError::BadMagic);
+    }
+    if &buf[..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    buf.advance(8);
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    buf.advance(4); // reserved
+    if buf.len() % RECORD_BYTES != 0 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(buf.len() / RECORD_BYTES);
+    while buf.has_remaining() {
+        let core = buf.get_u8();
+        let kind = match buf.get_u8() {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            k => return Err(DecodeError::BadKind(k)),
+        };
+        let pc = buf.get_u64_le();
+        let addr = buf.get_u64_le();
+        let igap = buf.get_u32_le();
+        out.push(TraceRecord {
+            core,
+            kind,
+            pc,
+            addr,
+            igap,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use crate::WorkloadGen;
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::web_serving(), 77).take(10_000).collect();
+        let encoded = encode(&recs);
+        let decoded = decode(&encoded).expect("roundtrip");
+        assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let encoded = encode(&[]);
+        assert_eq!(decode(&encoded).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOTATRACE_______"), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = encode(&[]).to_vec();
+        b[8] = 99;
+        assert_eq!(decode(&b), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::tpch(), 1).take(3).collect();
+        let b = encode(&recs).to_vec();
+        assert_eq!(decode(&b[..b.len() - 1]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::tpch(), 1).take(1).collect();
+        let mut b = encode(&recs).to_vec();
+        b[17] = 7; // the kind byte of record 0
+        assert_eq!(decode(&b), Err(DecodeError::BadKind(7)));
+    }
+}

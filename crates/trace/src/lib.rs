@@ -1,0 +1,55 @@
+//! Memory trace records, a binary trace codec, and synthetic server
+//! workload generators.
+//!
+//! The Unison Cache paper evaluates with memory traces collected from
+//! full-system simulation of CloudSuite and TPC-H — 30 billion
+//! instructions per core of proprietary Simics/Flexus traces that are not
+//! available. This crate substitutes **parameterized synthetic
+//! generators**, one per paper workload, that reproduce the *trace
+//! properties the paper's results depend on*:
+//!
+//! * a configurable resident working set with Zipf-like region popularity
+//!   plus a streaming component (drives how miss ratio falls with cache
+//!   size — Figure 6);
+//! * strong but noisy correlation between the code (PC) + first-block
+//!   offset and the set of blocks touched in a region ("footprints",
+//!   §III-A.1 — drives footprint-predictor accuracy, Table V);
+//! * per-workload spatial density, singleton rate, write fraction, and
+//!   memory intensity (instruction gap between post-L2 accesses).
+//!
+//! Traces are streams of [`TraceRecord`]s — the post-L2 request stream a
+//! die-stacked DRAM cache observes. Generators implement `Iterator` so
+//! multi-gigabyte traces never need to be materialized; the
+//! [`codec`] module persists them when a fixed artifact is
+//! wanted.
+//!
+//! # Example
+//!
+//! ```
+//! use unison_trace::{workloads, WorkloadGen};
+//!
+//! let mut gen = WorkloadGen::new(workloads::web_search(), 42);
+//! let first = gen.next().unwrap();
+//! assert!(first.core < 16);
+//! // Deterministic: the same seed yields the same trace.
+//! let mut gen2 = WorkloadGen::new(workloads::web_search(), 42);
+//! assert_eq!(Some(first), gen2.next());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+mod gen;
+mod profile;
+mod record;
+mod spec;
+pub mod stats;
+pub mod workloads;
+mod zipf;
+
+pub use gen::WorkloadGen;
+pub use profile::{FunctionProfile, PatternClass, ProfileMix, REGION_BLOCKS, REGION_BYTES};
+pub use record::{AccessKind, TraceRecord, BLOCK_BYTES};
+pub use spec::WorkloadSpec;
+pub use zipf::Zipf;

@@ -1,0 +1,345 @@
+//! Synthetic "function" profiles: the code ↔ footprint correlation.
+//!
+//! The footprint predictor works because server software calls a limited
+//! set of functions over large data, and each function touches data in a
+//! repetitive spatial pattern (§III-A.1). The generator models this
+//! directly: a workload owns a library of synthetic functions, each with a
+//! characteristic block-access pattern relative to its first access. At
+//! visit time the pattern is placed at an offset inside a 4 KB region and
+//! perturbed with workload-specific noise — the noise level is the knob
+//! that sets footprint-predictor accuracy.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spatial-locality region size used by the generators: 4 KB, the OS page
+/// size — the natural unit at which server software lays out data.
+/// (Cache designs use their own page sizes — 960 B/1984 B for Unison,
+/// 2 KB for Footprint Cache — neither aligned to this, exactly as in a
+/// real system.)
+pub const REGION_BYTES: u64 = 4096;
+
+/// Blocks per generator region (`4096 / 64`).
+pub const REGION_BLOCKS: u32 = (REGION_BYTES / crate::record::BLOCK_BYTES) as u32;
+
+/// The shape class of a function's footprint pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternClass {
+    /// Long sequential run (scans, column reads): `len` blocks from the
+    /// start offset.
+    Dense {
+        /// Run length in blocks (capped at [`REGION_BLOCKS`]).
+        len: u8,
+    },
+    /// Short-to-medium object access: `len` consecutive blocks.
+    Run {
+        /// Run length in blocks.
+        len: u8,
+    },
+    /// Regular stride (field access across records).
+    Strided {
+        /// Distance between touched blocks.
+        stride: u8,
+        /// Number of touched blocks.
+        count: u8,
+    },
+    /// Irregular pointer-chasing: `count` pseudo-random blocks.
+    Sparse {
+        /// Number of touched blocks.
+        count: u8,
+    },
+    /// Exactly one block — the "singleton" pages of §III-A.4.
+    Singleton,
+}
+
+impl PatternClass {
+    /// Materializes the class into a bit mask over [`REGION_BLOCKS`]
+    /// blocks, relative to the first-touched block (bit 0 is always set).
+    ///
+    /// `salt` individualizes Sparse patterns between functions while
+    /// keeping each function's own pattern fixed.
+    pub fn to_mask(self, salt: u64) -> u64 {
+        let cap = REGION_BLOCKS;
+        match self {
+            PatternClass::Dense { len } | PatternClass::Run { len } => {
+                let len = u32::from(len).clamp(1, cap);
+                if len == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                }
+            }
+            PatternClass::Strided { stride, count } => {
+                let stride = u32::from(stride).max(1);
+                let mut m = 0u64;
+                for i in 0..u32::from(count) {
+                    let b = i * stride;
+                    if b >= cap {
+                        break;
+                    }
+                    m |= 1 << b;
+                }
+                m | 1
+            }
+            PatternClass::Sparse { count } => {
+                // Deterministic pseudo-random scatter from the salt,
+                // clustered in a 6-block (384 B) window: pointer-chasing
+                // visits one object and a few of its fields, not the
+                // whole page.
+                let window = 6.min(cap);
+                let mut m = 1u64; // first block always touched
+                let mut x = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                let mut placed = 1;
+                while placed < u32::from(count).clamp(1, window) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let b = (x % u64::from(window)) as u32;
+                    if m & (1u64 << b) == 0 {
+                        m |= 1u64 << b;
+                        placed += 1;
+                    }
+                }
+                m
+            }
+            PatternClass::Singleton => 1,
+        }
+    }
+}
+
+/// Relative weights of the pattern classes in a workload's function
+/// library. Weights need not sum to one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileMix {
+    /// Weight of [`PatternClass::Dense`] (half-region to full-region
+    /// scans).
+    pub dense: f64,
+    /// Weight of [`PatternClass::Run`] (medium objects).
+    pub run: f64,
+    /// Weight of [`PatternClass::Strided`].
+    pub strided: f64,
+    /// Weight of [`PatternClass::Sparse`].
+    pub sparse: f64,
+    /// Weight of [`PatternClass::Singleton`].
+    pub singleton: f64,
+}
+
+impl ProfileMix {
+    /// Draws a pattern class according to the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PatternClass {
+        let weights = [self.dense, self.run, self.strided, self.sparse, self.singleton];
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "profile weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one profile weight must be positive");
+        let mut pick = rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+            idx = i;
+        }
+        match idx {
+            // Scans cover whole regions (and roll across regions via
+            // `scan_span`); partial coverage comes from per-visit noise,
+            // not from artificial mid-page pattern boundaries.
+            0 => PatternClass::Dense { len: 64 },
+            1 => PatternClass::Run {
+                len: rng.gen_range(6..=20),
+            },
+            2 => PatternClass::Strided {
+                stride: rng.gen_range(2..=6),
+                count: rng.gen_range(6..=16),
+            },
+            3 => PatternClass::Sparse {
+                count: rng.gen_range(2..=6),
+            },
+            _ => PatternClass::Singleton,
+        }
+    }
+}
+
+/// One synthetic function: a PC with a fixed footprint pattern and a small
+/// set of start-offset alignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// The synthetic program counter.
+    pub pc: u64,
+    /// Pattern class this function was drawn as.
+    pub class: PatternClass,
+    /// Block mask relative to the first access (bit 0 set).
+    pub base_mask: u64,
+    /// Start offsets (block index within region) this function uses —
+    /// models data-structure alignment variation (§III-A.1).
+    pub offsets: Vec<u8>,
+}
+
+impl FunctionProfile {
+    /// Generates function `index` of a library.
+    pub fn generate<R: Rng + ?Sized>(index: usize, mix: &ProfileMix, offset_entropy: u32, rng: &mut R) -> Self {
+        let class = mix.sample(rng);
+        let base_mask = class.to_mask(index as u64 + 1);
+        let n_offsets = offset_entropy.max(1);
+        // Dense scans start at (or near) region boundaries; other
+        // patterns land wherever their object sits.
+        let offset_cap: u8 = match class {
+            PatternClass::Dense { .. } => 1,
+            _ => REGION_BLOCKS as u8,
+        };
+        let mut offsets: Vec<u8> = (0..n_offsets)
+            .map(|_| rng.gen_range(0..offset_cap))
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        FunctionProfile {
+            pc: 0x40_0000 + (index as u64) * 0x40,
+            class,
+            base_mask,
+            offsets,
+        }
+    }
+
+    /// Places the base mask at `offset` within the region and truncates at
+    /// the region end. Bit `offset` (the trigger block) is always set.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use unison_trace::{FunctionProfile, PatternClass};
+    /// let f = FunctionProfile {
+    ///     pc: 0x400000,
+    ///     class: PatternClass::Run { len: 4 },
+    ///     base_mask: 0b1111,
+    ///     offsets: vec![0],
+    /// };
+    /// assert_eq!(f.mask_at(2), 0b111100);
+    /// // Truncated at the region boundary:
+    /// assert_eq!(f.mask_at(62), 0b11 << 62);
+    /// ```
+    pub fn mask_at(&self, offset: u8) -> u64 {
+        let shifted = (u128::from(self.base_mask)) << offset;
+        (shifted as u64) | (1u64 << offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_mask_is_contiguous() {
+        let m = PatternClass::Dense { len: 8 }.to_mask(0);
+        assert_eq!(m, 0xff);
+        let m64 = PatternClass::Dense { len: 64 }.to_mask(0);
+        assert_eq!(m64, u64::MAX);
+    }
+
+    #[test]
+    fn strided_mask_spaces_bits() {
+        let m = PatternClass::Strided { stride: 4, count: 4 }.to_mask(0);
+        assert_eq!(m, 0b1_0001_0001_0001);
+    }
+
+    #[test]
+    fn sparse_mask_is_deterministic_per_salt() {
+        let a = PatternClass::Sparse { count: 5 }.to_mask(9);
+        let b = PatternClass::Sparse { count: 5 }.to_mask(9);
+        let c = PatternClass::Sparse { count: 5 }.to_mask(10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.count_ones(), 5);
+        assert!(a & 1 == 1, "first block always in the footprint");
+    }
+
+    #[test]
+    fn singleton_mask_is_one_block() {
+        assert_eq!(PatternClass::Singleton.to_mask(3), 1);
+    }
+
+    #[test]
+    fn mask_at_truncates_at_region_end() {
+        let f = FunctionProfile {
+            pc: 0,
+            class: PatternClass::Run { len: 8 },
+            base_mask: 0xff,
+            offsets: vec![0],
+        };
+        let m = f.mask_at(60);
+        assert_eq!(m.count_ones(), 4);
+        assert!(m & (1u64 << 60) != 0);
+    }
+
+    #[test]
+    fn profile_mix_respects_zero_weights() {
+        let mix = ProfileMix {
+            dense: 0.0,
+            run: 0.0,
+            strided: 0.0,
+            sparse: 0.0,
+            singleton: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(mix.sample(&mut rng), PatternClass::Singleton);
+        }
+    }
+
+    #[test]
+    fn generated_function_has_valid_offsets() {
+        let mix = ProfileMix {
+            dense: 1.0,
+            run: 1.0,
+            strided: 1.0,
+            sparse: 1.0,
+            singleton: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..100 {
+            let f = FunctionProfile::generate(i, &mix, 4, &mut rng);
+            assert!(!f.offsets.is_empty());
+            assert!(f.offsets.iter().all(|&o| u32::from(o) < REGION_BLOCKS));
+            assert!(f.base_mask & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn dense_functions_start_near_region_head() {
+        let mix = ProfileMix {
+            dense: 1.0,
+            run: 0.0,
+            strided: 0.0,
+            sparse: 0.0,
+            singleton: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..50 {
+            let f = FunctionProfile::generate(i, &mix, 4, &mut rng);
+            assert!(f.offsets.iter().all(|&o| o < 4), "scan offsets {:?}", f.offsets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_mix_panics() {
+        let mix = ProfileMix {
+            dense: 0.0,
+            run: 0.0,
+            strided: 0.0,
+            sparse: 0.0,
+            singleton: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = mix.sample(&mut rng);
+    }
+}

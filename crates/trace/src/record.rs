@@ -1,0 +1,99 @@
+//! The trace record type.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache block size in bytes, fixed at 64 throughout the paper.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (or instruction fetch) — data flows toward the core.
+    Read,
+    /// A store — marks the block dirty in whatever cache holds it.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One post-L2 memory access as observed by a die-stacked DRAM cache.
+///
+/// `igap` carries the workload's *memory intensity*: the number of
+/// instructions the issuing core executed since its previous record. The
+/// performance model turns instruction gaps into compute cycles and
+/// memory accesses into stalls; their ratio determines how memory-bound a
+/// workload is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Issuing core, `0..cores` (16 in the paper's pod).
+    pub core: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Program counter of the triggering instruction. Footprint and miss
+    /// predictors index on this.
+    pub pc: u64,
+    /// Physical byte address accessed.
+    pub addr: u64,
+    /// Instructions executed by `core` since its previous trace record.
+    pub igap: u32,
+}
+
+impl TraceRecord {
+    /// The 64-byte-aligned block address of this access.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use unison_trace::{AccessKind, TraceRecord};
+    /// let r = TraceRecord { core: 0, kind: AccessKind::Read, pc: 0x400, addr: 130, igap: 10 };
+    /// assert_eq!(r.block_addr(), 128);
+    /// ```
+    pub fn block_addr(&self) -> u64 {
+        self.addr & !(BLOCK_BYTES - 1)
+    }
+
+    /// The global block number (`addr / 64`).
+    pub fn block_number(&self) -> u64 {
+        self.addr / BLOCK_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64) -> TraceRecord {
+        TraceRecord {
+            core: 3,
+            kind: AccessKind::Write,
+            pc: 0xdead_beef,
+            addr,
+            igap: 100,
+        }
+    }
+
+    #[test]
+    fn block_addr_masks_low_bits() {
+        assert_eq!(rec(0).block_addr(), 0);
+        assert_eq!(rec(63).block_addr(), 0);
+        assert_eq!(rec(64).block_addr(), 64);
+        assert_eq!(rec(191).block_addr(), 128);
+    }
+
+    #[test]
+    fn block_number_divides() {
+        assert_eq!(rec(6400).block_number(), 100);
+        assert_eq!(rec(6463).block_number(), 100);
+    }
+
+    #[test]
+    fn write_kind_is_write() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+}

@@ -1,0 +1,148 @@
+//! Trace-level statistics used to validate generator calibration.
+
+use std::collections::HashMap;
+
+use crate::profile::{REGION_BLOCKS, REGION_BYTES};
+use crate::record::TraceRecord;
+
+/// Summary statistics of a trace sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Records analyzed.
+    pub records: u64,
+    /// Distinct 64 B blocks touched.
+    pub unique_blocks: u64,
+    /// Distinct 4 KB regions touched.
+    pub unique_regions: u64,
+    /// Fraction of write accesses.
+    pub write_fraction: f64,
+    /// Mean instruction gap.
+    pub mean_igap: f64,
+    /// Mean blocks touched per region (spatial density over the sample).
+    pub blocks_per_region: f64,
+    /// Fraction of regions with exactly one touched block (singletons).
+    pub singleton_region_fraction: f64,
+    /// Fraction of accesses going to the top 10% most-touched regions
+    /// (reuse skew).
+    pub top_decile_access_share: f64,
+}
+
+/// Computes [`TraceStats`] over an iterator of records.
+///
+/// # Example
+///
+/// ```
+/// use unison_trace::{stats, workloads, WorkloadGen};
+///
+/// let gen = WorkloadGen::new(workloads::web_search(), 1).take(20_000);
+/// let s = stats::analyze(gen);
+/// assert!(s.blocks_per_region > 4.0); // web search is spatially dense
+/// ```
+pub fn analyze<I: IntoIterator<Item = TraceRecord>>(records: I) -> TraceStats {
+    let mut n = 0u64;
+    let mut writes = 0u64;
+    let mut igap_sum = 0u64;
+    let mut region_touch: HashMap<u64, (u64, u64)> = HashMap::new(); // region -> (block mask, access count)
+    for r in records {
+        n += 1;
+        if r.kind.is_write() {
+            writes += 1;
+        }
+        igap_sum += u64::from(r.igap);
+        let region = r.addr / REGION_BYTES;
+        let block = ((r.addr % REGION_BYTES) / crate::record::BLOCK_BYTES) as u32;
+        let e = region_touch.entry(region).or_insert((0, 0));
+        e.0 |= 1u64 << block.min(REGION_BLOCKS - 1);
+        e.1 += 1;
+    }
+    let unique_regions = region_touch.len() as u64;
+    let unique_blocks: u64 = region_touch.values().map(|(m, _)| u64::from(m.count_ones())).sum();
+    let singletons = region_touch.values().filter(|(m, _)| m.count_ones() == 1).count() as u64;
+
+    let mut access_counts: Vec<u64> = region_touch.values().map(|(_, c)| *c).collect();
+    access_counts.sort_unstable_by(|a, b| b.cmp(a));
+    let decile = (access_counts.len() / 10).max(1);
+    let top: u64 = access_counts.iter().take(decile).sum();
+
+    TraceStats {
+        records: n,
+        unique_blocks,
+        unique_regions,
+        write_fraction: if n > 0 { writes as f64 / n as f64 } else { 0.0 },
+        mean_igap: if n > 0 { igap_sum as f64 / n as f64 } else { 0.0 },
+        blocks_per_region: if unique_regions > 0 {
+            unique_blocks as f64 / unique_regions as f64
+        } else {
+            0.0
+        },
+        singleton_region_fraction: if unique_regions > 0 {
+            singletons as f64 / unique_regions as f64
+        } else {
+            0.0
+        },
+        top_decile_access_share: if n > 0 { top as f64 / n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use crate::WorkloadGen;
+
+    fn sample(spec: crate::WorkloadSpec) -> TraceStats {
+        analyze(WorkloadGen::new(spec, 42).take(60_000))
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = analyze(std::iter::empty());
+        assert_eq!(s.records, 0);
+        assert_eq!(s.unique_blocks, 0);
+        assert_eq!(s.write_fraction, 0.0);
+    }
+
+    #[test]
+    fn web_search_denser_than_data_analytics() {
+        let ws = sample(workloads::web_search());
+        let da = sample(workloads::data_analytics());
+        assert!(
+            ws.blocks_per_region > da.blocks_per_region,
+            "web search {:.2} should out-dense data analytics {:.2}",
+            ws.blocks_per_region,
+            da.blocks_per_region
+        );
+    }
+
+    #[test]
+    fn data_analytics_has_more_singletons() {
+        let ws = sample(workloads::web_search());
+        let da = sample(workloads::data_analytics());
+        assert!(da.singleton_region_fraction > ws.singleton_region_fraction);
+    }
+
+    #[test]
+    fn data_serving_reuse_is_skewed() {
+        let ds = sample(workloads::data_serving());
+        assert!(
+            ds.top_decile_access_share > 0.3,
+            "zipf reuse should concentrate accesses, got {:.2}",
+            ds.top_decile_access_share
+        );
+    }
+
+    #[test]
+    fn tpch_streams_more_unique_data_than_data_serving() {
+        // TPC-H's scan-heavy profile touches more distinct memory per
+        // access than the reuse-heavy key-value workload.
+        let t = sample(workloads::tpch());
+        let ds = sample(workloads::data_serving());
+        assert!(
+            t.unique_blocks > ds.unique_blocks,
+            "tpch {} vs data serving {}",
+            t.unique_blocks,
+            ds.unique_blocks
+        );
+        assert!(t.top_decile_access_share < ds.top_decile_access_share);
+    }
+}

@@ -1,0 +1,151 @@
+//! Zipf-like rank sampling by continuous inversion.
+
+use rand::Rng;
+
+/// A Zipf-like sampler over ranks `0..n`.
+///
+/// Sampling inverts the CDF of the continuous truncated power law
+/// `p(x) ∝ x^{-theta}` on `[1, n+1)` and floors the result, which
+/// approximates the discrete Zipf distribution in O(1) time per sample for
+/// arbitrary `n` (the paper's TPC-H working set implies tens of millions
+/// of 2 KB regions, so O(n) table construction is off the table).
+///
+/// `theta = 0` degenerates to the uniform distribution; larger `theta`
+/// concentrates probability on low ranks. The approximation error against
+/// exact discrete Zipf is immaterial for workload synthesis — what matters
+/// is a controllable, heavy-tailed reuse distribution.
+///
+/// # Example
+///
+/// ```
+/// use unison_trace::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(1_000_000, 0.9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    /// `1 - theta`, cached; the special case `theta == 1` uses logs.
+    q: f64,
+    /// `(n+1)^q - 1` (or `ln(n+1)` when `theta == 1`), cached.
+    span: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `0..n` with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
+        let q = 1.0 - theta;
+        let span = if Self::is_log_case(theta) {
+            ((n + 1) as f64).ln()
+        } else {
+            ((n + 1) as f64).powf(q) - 1.0
+        };
+        Zipf { n, theta, q, span }
+    }
+
+    fn is_log_case(theta: f64) -> bool {
+        (theta - 1.0).abs() < 1e-9
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen(); // [0, 1)
+        let x = if Self::is_log_case(self.theta) {
+            (u * self.span).exp()
+        } else {
+            (u * self.span + 1.0).powf(1.0 / self.q)
+        };
+        // x ∈ [1, n+1); floor to rank, guard the right edge.
+        ((x as u64).saturating_sub(1)).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, samples: usize, bins: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = vec![0u64; bins];
+        let w = z.n().div_ceil(bins as u64);
+        for _ in 0..samples {
+            let r = z.sample(&mut rng);
+            h[(r / w) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(1000, 0.0);
+        let h = histogram(&z, 100_000, 10);
+        let max = *h.iter().max().unwrap() as f64;
+        let min = *h.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform histogram too skewed: {h:?}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let z = Zipf::new(1_000_000, 1.2);
+        let h = histogram(&z, 100_000, 10);
+        assert!(
+            h[0] as f64 / 100_000.0 > 0.8,
+            "skewed sampler should hit the first decile most of the time: {h:?}"
+        );
+    }
+
+    #[test]
+    fn theta_one_log_case_works() {
+        let z = Zipf::new(10_000, 1.0);
+        let h = histogram(&z, 100_000, 10);
+        assert!(h[0] > h[9], "rank popularity should decay: {h:?}");
+        assert!(h.iter().sum::<u64>() == 100_000);
+    }
+
+    #[test]
+    fn single_rank_always_returns_zero() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_n_panics() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

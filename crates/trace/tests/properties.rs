@@ -1,0 +1,78 @@
+//! Property-based tests for the trace layer.
+
+use proptest::prelude::*;
+use unison_trace::codec::{decode, encode};
+use unison_trace::{workloads, AccessKind, TraceRecord, WorkloadGen, Zipf};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u8..16,
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+        1u32..100_000,
+    )
+        .prop_map(|(core, w, pc, addr, igap)| TraceRecord {
+            core,
+            kind: if w { AccessKind::Write } else { AccessKind::Read },
+            pc,
+            addr,
+            igap,
+        })
+}
+
+proptest! {
+    /// The binary codec roundtrips any record sequence bit-exactly.
+    #[test]
+    fn codec_roundtrips(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let bytes = encode(&records);
+        let back = decode(&bytes).expect("decode");
+        prop_assert_eq!(back, records);
+    }
+
+    /// Decoding never panics on arbitrary bytes (it returns errors).
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Zipf samples always land in range for any parameters.
+    #[test]
+    fn zipf_in_range(n in 1u64..1_000_000, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, theta);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Generators are deterministic and stay inside their address space
+    /// for any seed.
+    #[test]
+    fn generator_determinism_and_bounds(seed in any::<u64>()) {
+        let spec = workloads::web_serving().scaled(64);
+        let limit = spec.mem_footprint_bytes;
+        let a: Vec<_> = WorkloadGen::new(spec.clone(), seed).take(500).collect();
+        let b: Vec<_> = WorkloadGen::new(spec, seed).take(500).collect();
+        prop_assert_eq!(&a, &b);
+        for r in a {
+            prop_assert!(r.addr < limit);
+            prop_assert!(r.igap >= 1);
+            prop_assert!(r.core < 16);
+        }
+    }
+
+    /// Scaling a workload never changes its ratio knobs, only the
+    /// footprint.
+    #[test]
+    fn scaling_preserves_ratios(factor in 1u64..128) {
+        for w in workloads::all() {
+            let s = w.clone().scaled(factor);
+            prop_assert_eq!(s.zipf_theta, w.zipf_theta);
+            prop_assert_eq!(s.write_fraction, w.write_fraction);
+            prop_assert_eq!(s.pattern_noise, w.pattern_noise);
+            prop_assert!(s.mem_footprint_bytes <= w.mem_footprint_bytes);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Capacity planner: for a chosen workload, sweep stacked-DRAM capacities
+//! and report what each design would deliver and what its tags cost —
+//! the scalability argument of the paper condensed into one table.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner [workload]
+//! ```
+
+use unison_repro::core::layout::{AlloyRowLayout, FcTagModel, UnisonRowLayout};
+use unison_repro::sim::{run_experiment, Design, SimConfig};
+use unison_repro::trace::workloads;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "TPC-H".into());
+    let Some(spec) = workloads::by_name(&name) else {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(2);
+    };
+
+    let mut cfg = SimConfig::bench_default();
+    cfg.scale = 16; // keep the multi-GB points quick
+    let sizes: [u64; 4] = [1 << 30, 2 << 30, 4 << 30, 8 << 30];
+
+    println!("capacity plan for {} (scale 1/{})\n", spec.name, cfg.scale);
+    println!(
+        "{:>6} | {:>9} {:>10} | {:>9} {:>10} {:>11} | {:>9} {:>10} {:>10}",
+        "size", "AC miss%", "AC spdup", "FC miss%", "FC spdup", "FC SRAM", "UC miss%", "UC spdup", "UC tags"
+    );
+    let base = run_experiment(Design::NoCache, 0, &spec, &cfg);
+    let uc_layout = UnisonRowLayout::new(15, 4);
+    let ac_layout = AlloyRowLayout::paper();
+    for size in sizes {
+        let ac = run_experiment(Design::Alloy, size, &spec, &cfg);
+        let fc = run_experiment(Design::Footprint, size, &spec, &cfg);
+        let uc = run_experiment(Design::Unison, size, &spec, &cfg);
+        let fc_tags = FcTagModel::for_cache_size(size);
+        println!(
+            "{:>5}G | {:>8.1} {:>9.2}x | {:>8.1} {:>9.2}x {:>8.1}MB* | {:>8.1} {:>9.2}x {:>7}MB",
+            size >> 30,
+            ac.cache.miss_ratio() * 100.0,
+            ac.uipc / base.uipc,
+            fc.cache.miss_ratio() * 100.0,
+            fc.uipc / base.uipc,
+            fc_tags.tag_mb,
+            uc.cache.miss_ratio() * 100.0,
+            uc.uipc / base.uipc,
+            uc_layout.in_dram_tag_bytes(size) >> 20,
+        );
+    }
+    println!(
+        "\n*  FC's SRAM tag array (on-chip!): infeasible beyond ~3MB — the paper's point."
+    );
+    println!(
+        "   UC tags live in the stacked DRAM itself; AC tags cost {}MB of DRAM at 8GB (12.5%).",
+        ac_layout.in_dram_tag_bytes(8 << 30) >> 20
+    );
+}

@@ -1,0 +1,67 @@
+//! Compare all five cache organizations on one workload — a miniature
+//! version of the paper's Figures 6 and 7 on a single (workload, size)
+//! point, useful for understanding what each design trades away.
+//!
+//! ```sh
+//! cargo run --release --example design_comparison [workload] [cache_mb]
+//! ```
+//!
+//! `workload` is one of: `Data Analytics`, `Data Serving`,
+//! `Software Testing`, `Web Search`, `Web Serving`, `TPC-H`
+//! (case-insensitive; default `Data Serving`). `cache_mb` defaults to
+//! 1024.
+
+use unison_repro::sim::{run_experiment, Design, SimConfig};
+use unison_repro::trace::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload_name = args.first().map(String::as_str).unwrap_or("Data Serving");
+    let cache_mb: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    let Some(spec) = workloads::by_name(workload_name) else {
+        eprintln!("unknown workload {workload_name:?}; try one of:");
+        for w in workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    };
+
+    let cfg = SimConfig::bench_default();
+    let size = cache_mb << 20;
+    println!(
+        "workload {} | cache {} MB (scale 1/{}) | {}+ accesses per design\n",
+        spec.name, cache_mb, cfg.scale, cfg.accesses
+    );
+
+    let base = run_experiment(Design::NoCache, 0, &spec, &cfg);
+    println!(
+        "{:<14} {:>7} {:>9} {:>9} {:>12} {:>12}",
+        "design", "miss%", "latency", "speedup", "offchip B/a", "stacked B/a"
+    );
+    for d in [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::Unison1984,
+        Design::Ideal,
+        Design::NoCache,
+    ] {
+        let r = run_experiment(d, size, &spec, &cfg);
+        let acc = r.cache.accesses.max(1) as f64;
+        println!(
+            "{:<14} {:>6.1}% {:>6.0} cy {:>8.2}x {:>12.1} {:>12.1}",
+            r.design,
+            r.cache.miss_ratio() * 100.0,
+            r.cache.mean_latency_ps() * 3.0 / 1000.0,
+            r.uipc / base.uipc,
+            r.cache.offchip_bytes() as f64 / acc,
+            (r.cache.stacked_read_bytes + r.cache.stacked_write_bytes) as f64 / acc,
+        );
+    }
+    println!("\nReading the table: Alloy pays misses (no spatial fetch), Footprint pays its");
+    println!("SRAM tag latency at large sizes, Unison pays neither — the paper's Table I.");
+}

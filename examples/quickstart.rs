@@ -1,0 +1,62 @@
+//! Quickstart: build a Unison Cache, run a workload through it, and read
+//! the statistics the paper's evaluation is built on.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unison_repro::core::{DramCacheModel, MemPorts, UnisonCache, UnisonConfig};
+use unison_repro::sim::{CoreParams, System};
+use unison_repro::trace::{workloads, WorkloadGen};
+
+fn main() {
+    // A 128 MB Unison Cache in its paper configuration: 960 B pages
+    // (15 blocks + in-DRAM tag per page), 4-way sets, way prediction,
+    // footprint prediction with singleton bypass.
+    let cache = UnisonCache::new(UnisonConfig::new(128 << 20));
+    println!(
+        "Unison Cache: {} MB, {} sets x {} ways, {} blocks per 8KB row",
+        cache.capacity_bytes() >> 20,
+        cache.num_sets(),
+        cache.config().assoc,
+        cache.layout().blocks_per_row,
+    );
+
+    // The Table III memory system: 4-channel stacked DRAM + one DDR3-1600
+    // channel, shared by the cache and the off-chip fill path.
+    let mem = MemPorts::paper_default();
+
+    // A 16-core pod running the synthetic Web Serving workload, scaled
+    // 8x down (cache was scaled above by simply asking for 128 MB).
+    let mut system = System::new(16, cache, mem, CoreParams::default());
+    let mut trace = WorkloadGen::new(workloads::web_serving().scaled(8), 42);
+
+    // Warm up (paper: two thirds of the trace), then measure.
+    system.run(&mut trace, 2_000_000);
+    system.reset_measurement();
+    let before = system.progress();
+    system.run(&mut trace, 1_000_000);
+    let after = system.progress();
+
+    let stats = system.cache().stats();
+    println!("\n-- measurement over {} accesses --", stats.accesses);
+    println!("miss ratio:            {:5.1}%", stats.miss_ratio() * 100.0);
+    println!("  trigger misses:      {:>9}", stats.trigger_misses);
+    println!("  underpredictions:    {:>9}", stats.underprediction_misses);
+    println!("  singleton bypasses:  {:>9}", stats.singleton_bypasses);
+    println!("footprint accuracy:    {:5.1}%", stats.fp_accuracy() * 100.0);
+    println!("footprint overfetch:   {:5.1}%", stats.fp_overfetch() * 100.0);
+    println!("way-predictor accuracy:{:5.1}%", stats.wp_accuracy() * 100.0);
+    println!(
+        "mean access latency:   {:5.1} CPU cycles",
+        stats.mean_latency_ps() * 3.0 / 1000.0
+    );
+    println!(
+        "off-chip traffic:      {:5.1} B/access",
+        stats.offchip_bytes() as f64 / stats.accesses as f64
+    );
+
+    let instr = after.instructions - before.instructions;
+    let cycles = (after.elapsed_ps - before.elapsed_ps) as f64 * 3.0 / 1000.0;
+    println!("\npod throughput:        {:.2} user instructions/cycle", instr as f64 / cycles);
+}

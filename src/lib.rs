@@ -1,0 +1,13 @@
+//! Facade crate for the Unison Cache (MICRO 2014) reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use unison_repro::...`. See the repository
+//! README for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+
+pub use unison_core as core;
+pub use unison_dram as dram;
+pub use unison_memhier as memhier;
+pub use unison_predictors as predictors;
+pub use unison_sim as sim;
+pub use unison_trace as trace;

@@ -1,0 +1,203 @@
+//! Integration tests pinning the paper's *qualitative claims* — the
+//! relationships that must hold for the reproduction to be faithful,
+//! regardless of absolute numbers.
+
+use unison_repro::core::layout::{AlloyRowLayout, FcTagModel, UnisonRowLayout};
+use unison_repro::core::{DramCacheModel, MemPorts, Request, UnisonCache, UnisonConfig};
+use unison_repro::dram::{ps_to_cpu_cycles, DramConfig, DramModel, Op, RowCol};
+use unison_repro::sim::{run_experiment, Design, SimConfig};
+use unison_repro::trace::workloads;
+
+/// §III-A: the overlapped tag+data read costs about one DRAM access plus
+/// the metadata burst — NOT two serialized DRAM accesses.
+#[test]
+fn overlapped_tag_data_read_is_not_serialized() {
+    let mut d = DramModel::new(DramConfig::stacked());
+    let meta = d.access(0, Op::Read, RowCol::new(0, 0), 32);
+    let data = d.access(0, Op::Read, RowCol::new(0, 128), 64);
+    let one_access = meta.last_data_ps;
+    assert!(
+        data.last_data_ps < one_access + one_access / 2,
+        "tag+data should cost ~1 access, got {} vs {}",
+        data.last_data_ps,
+        one_access
+    );
+}
+
+/// §III-A.6: the 32 B metadata transfer costs two CPU cycles on the
+/// 128-bit stacked bus.
+#[test]
+fn metadata_burst_is_two_cpu_cycles() {
+    let cfg = DramConfig::stacked();
+    assert_eq!(ps_to_cpu_cycles(cfg.burst_ps(32)), 2);
+}
+
+/// Table II: the three tag architectures cost what the paper says at 8GB.
+#[test]
+fn tag_overheads_match_table_ii() {
+    const GB8: u64 = 8 << 30;
+    // Alloy: 1GB of stacked DRAM (12.5%).
+    let ac = AlloyRowLayout::paper().in_dram_tag_bytes(GB8);
+    assert_eq!(ac, GB8 / 8);
+    // Footprint: ~50MB of SRAM.
+    let fc = FcTagModel::for_cache_size(GB8);
+    assert!((fc.tag_mb - 50.0).abs() < 1.0);
+    // Unison: 256-512MB of stacked DRAM (3.1-6.2%).
+    let uc960 = UnisonRowLayout::new(15, 4).in_dram_tag_bytes(GB8);
+    let uc1984 = UnisonRowLayout::new(31, 4).in_dram_tag_bytes(GB8);
+    assert_eq!(uc960, GB8 / 16);
+    assert_eq!(uc1984, GB8 / 32);
+}
+
+/// §II-B / Table IV: Footprint Cache's tag latency grows with capacity
+/// while Unison Cache's access latency does not — the crossover driver
+/// of Figures 7 and 8. Isolated by fixing the actual (scaled) capacity
+/// and varying only the nominal size that parameterizes the tag array.
+#[test]
+fn unison_latency_is_size_independent_and_footprint_is_not() {
+    use unison_repro::core::{FootprintCache, FootprintConfig};
+    use unison_repro::sim::{CoreParams, System};
+    use unison_repro::trace::WorkloadGen;
+
+    let measure_fc = |nominal: u64| -> f64 {
+        let cache =
+            FootprintCache::new(FootprintConfig::new(32 << 20).with_nominal(nominal));
+        let mut sys = System::new(16, cache, MemPorts::paper_default(), CoreParams::default());
+        let mut trace = WorkloadGen::new(workloads::web_search().scaled(256), 42);
+        sys.run(&mut trace, 200_000);
+        sys.reset_measurement();
+        sys.run(&mut trace, 100_000);
+        sys.cache().stats().mean_latency_ps() * 3.0 / 1000.0
+    };
+    let measure_uc = |nominal: u64| -> f64 {
+        let cache = UnisonCache::new(UnisonConfig::new(32 << 20).with_nominal(nominal));
+        let mut sys = System::new(16, cache, MemPorts::paper_default(), CoreParams::default());
+        let mut trace = WorkloadGen::new(workloads::web_search().scaled(256), 42);
+        sys.run(&mut trace, 200_000);
+        sys.reset_measurement();
+        sys.run(&mut trace, 100_000);
+        sys.cache().stats().mean_latency_ps() * 3.0 / 1000.0
+    };
+
+    // Same capacity, same trace: only the tag architecture scales.
+    let fc_growth = measure_fc(8 << 30) - measure_fc(128 << 20);
+    let uc_growth = (measure_uc(8 << 30) - measure_uc(128 << 20)).abs();
+    // Table IV delta is 42 cycles, charged on every access.
+    assert!(
+        fc_growth > 30.0,
+        "FC latency should grow ~42 cy with nominal size, grew {fc_growth:.1} cy"
+    );
+    assert!(
+        uc_growth < 5.0,
+        "UC latency must be capacity-independent, moved {uc_growth:.1} cy"
+    );
+}
+
+/// §V.A: all designs are bandwidth-efficient — overfetch around 10%, not
+/// the order-of-magnitude waste of naive page caches.
+#[test]
+fn overfetch_stays_bounded() {
+    let cfg = SimConfig::quick_test();
+    for w in [workloads::web_search(), workloads::data_serving()] {
+        let uc = run_experiment(Design::Unison, 1 << 30, &w, &cfg);
+        // Bench-scale runs land at 6-29%; the aggressive 1/64 quick-test
+        // scale inflates the ratio somewhat, hence the looser bound here.
+        assert!(
+            uc.cache.fp_overfetch() < 0.45,
+            "{}: UC overfetch {:.2} out of band",
+            w.name,
+            uc.cache.fp_overfetch()
+        );
+    }
+}
+
+/// §V.D: footprint-granularity transfers amortize off-chip row
+/// activations — Unison moves several blocks per activation where the
+/// uncached baseline moves about one.
+#[test]
+fn footprint_transfers_amortize_activations() {
+    let cfg = SimConfig::quick_test();
+    let w = workloads::web_search();
+    let uc = run_experiment(Design::Unison, 512 << 20, &w, &cfg);
+    let base = run_experiment(Design::NoCache, 0, &w, &cfg);
+    let blocks_per_act = |r: &unison_repro::sim::RunResult| {
+        let blocks =
+            (r.offchip_energy.bytes_read + r.offchip_energy.bytes_written) as f64 / 64.0;
+        blocks / (r.offchip_energy.activations.max(1)) as f64
+    };
+    let uc_amort = blocks_per_act(&uc);
+    let base_amort = blocks_per_act(&base);
+    assert!(
+        uc_amort > 2.0 * base_amort,
+        "UC should move several blocks per off-chip activation: {uc_amort:.2} vs baseline {base_amort:.2}"
+    );
+}
+
+/// §III-A.4: singleton-predicted pages are not allocated, preserving
+/// cache capacity for multi-block footprints.
+#[test]
+fn singletons_bypass_allocation() {
+    let cfg = SimConfig::quick_test();
+    let r = run_experiment(Design::Unison, 256 << 20, &workloads::data_analytics(), &cfg);
+    assert!(
+        r.cache.singleton_bypasses > 0,
+        "the pointer-chasing workload must trigger singleton bypasses"
+    );
+}
+
+/// §III-A.6: way mispredictions are cheap because the correct way is in
+/// the already-open row.
+#[test]
+fn way_misprediction_recovery_is_row_hit() {
+    let mut uc = UnisonCache::new(UnisonConfig::new(1 << 20));
+    let mut mem = MemPorts::paper_default();
+    let sets = uc.num_sets();
+    assert!(sets < 4096, "aliasing construction below needs sets < 2^12");
+    // Two pages in the same cache set AND the same way-predictor entry:
+    // page_b = sets * (2^12 + 1) folds to the same 12-bit XOR hash as
+    // page 0 (its two 12-bit chunks are equal and cancel) while still
+    // mapping to set 0. Alternating them defeats the predictor on every
+    // access, but latency must stay near hit latency (row-buffer hits).
+    let addr_a = 0u64;
+    let addr_b = sets * 4097 * 960;
+    let mut t = 0;
+    for addr in [addr_a, addr_b, addr_a, addr_b] {
+        let a = uc.access(
+            t,
+            &Request {
+                core: 0,
+                pc: 0x400,
+                addr,
+                is_write: false,
+            },
+            &mut mem,
+        );
+        t = a.done_ps + 1000;
+    }
+    let lat_before = uc.stats().mean_latency_ps();
+    assert!(lat_before > 0.0);
+    // Steady-state alternation: all hits, half mispredicted.
+    uc.reset_stats();
+    for i in 0..50u64 {
+        let addr = if i % 2 == 0 { addr_a } else { addr_b };
+        let a = uc.access(
+            t,
+            &Request {
+                core: 0,
+                pc: 0x400,
+                addr,
+                is_write: false,
+            },
+            &mut mem,
+        );
+        assert!(a.hit(), "both pages are resident");
+        t = a.done_ps + 1000;
+    }
+    let s = uc.stats();
+    assert!(s.wp_accuracy() < 0.6, "alternation must defeat the way predictor");
+    let mean_cycles = s.mean_latency_ps() * 3.0 / 1000.0;
+    assert!(
+        mean_cycles < 120.0,
+        "mispredict-heavy hits must stay near hit latency (row-buffer hits), got {mean_cycles:.0} cy"
+    );
+}
