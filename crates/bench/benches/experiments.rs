@@ -3,30 +3,50 @@
 //! EXPERIMENTS.md come from the dedicated binaries run with `--scale 8`;
 //! this target exists so `cargo bench --workspace` touches the entire
 //! table/figure harness and prints a one-screen digest.
+//!
+//! The digest grids run through `unison_harness` exactly like the
+//! binaries do, so this also smoke-tests the campaign engine end to end
+//! (parallel workers, memoized baselines).
 
-use unison_sim::{run_experiment, Design, SimConfig};
+use unison_harness::{Campaign, ExperimentGrid};
+use unison_sim::{Design, SimConfig};
 use unison_trace::workloads;
 
 fn main() {
     let cfg = SimConfig::quick_test();
-    println!("== experiment smoke suite (scale 1/{}, {} accesses/run) ==", cfg.scale, cfg.accesses);
-    println!("(full-scale rows: cargo run --release -p unison-bench --bin <table2|table4|table5|fig5|fig6|fig7|fig8|energy|ablation_*>)\n");
+    println!(
+        "== experiment smoke suite (scale 1/{}, {} accesses/run) ==",
+        cfg.scale, cfg.accesses
+    );
+    println!("(full-scale rows: cargo run --release -p unison-bench --bin <table2|table4|table5|fig5|fig6|fig7|fig8|energy|sweep|ablation_*>)\n");
+
+    let campaign = Campaign::new(cfg);
+    let designs = [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::Ideal,
+    ];
 
     // Figure 6/7/8 digest: one size per workload, all designs.
+    let grid = unison_bench::table5_grid(designs);
+    let results = campaign.run_speedups(&grid);
+
     println!(
         "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "workload", "design->", "Alloy", "Footpr", "Unison", "Ideal", "NoCache"
     );
     for w in workloads::all() {
-        let size: u64 = if w.name == "TPC-H" { 8 << 30 } else { 1 << 30 };
-        let base = run_experiment(Design::NoCache, 0, &w, &cfg);
-        let mut miss = Vec::new();
-        let mut speed = Vec::new();
-        for d in [Design::Alloy, Design::Footprint, Design::Unison, Design::Ideal] {
-            let r = run_experiment(d, size, &w, &cfg);
-            miss.push(r.cache.miss_ratio() * 100.0);
-            speed.push(r.uipc / base.uipc);
-        }
+        let size = unison_bench::table5_size(w.name);
+        let cell = |d: Design| results.get(w.name, &d.name(), size).expect("digest cell");
+        let miss: Vec<f64> = designs
+            .iter()
+            .map(|&d| cell(d).run.cache.miss_ratio() * 100.0)
+            .collect();
+        let speed: Vec<f64> = designs
+            .iter()
+            .map(|&d| cell(d).speedup.expect("speedup campaign"))
+            .collect();
         println!(
             "{:<18} {:>9} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7}",
             w.name, "miss", miss[0], miss[1], miss[2], miss[3], "100.0%"
@@ -36,13 +56,26 @@ fn main() {
             "", "speedup", speed[0], speed[1], speed[2], speed[3], 1.0
         );
     }
+    println!(
+        "(baselines: {} simulated for {} cells, {} memo hits)",
+        results.baseline_runs,
+        results.cells().len(),
+        results.baseline_hits
+    );
 
     // Figure 5 digest: associativity sweep on one workload.
     let w = workloads::web_serving();
+    let assoc_grid = ExperimentGrid::new()
+        .designs([1u32, 4, 32].map(Design::UnisonAssoc))
+        .workload(w.clone())
+        .sizes([1 << 30]);
+    let assoc = campaign.run(&assoc_grid);
     print!("\nfig5 digest ({} @1GB): UC miss by assoc ", w.name);
-    for assoc in [1u32, 4, 32] {
-        let r = run_experiment(Design::UnisonAssoc(assoc), 1 << 30, &w, &cfg);
-        print!(" {}way={:.1}%", assoc, r.cache.miss_ratio() * 100.0);
+    for a in [1u32, 4, 32] {
+        let r = assoc
+            .get(w.name, &Design::UnisonAssoc(a).name(), 1 << 30)
+            .expect("assoc cell");
+        print!(" {}way={:.1}%", a, r.run.cache.miss_ratio() * 100.0);
     }
     println!();
     println!("\nsmoke suite complete.");

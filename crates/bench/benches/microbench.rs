@@ -48,7 +48,7 @@ fn bench_predictors(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             let p = mp.predict((i % 16) as u32, i % 997);
-            mp.update((i % 16) as u32, i % 997, i % 3 == 0);
+            mp.update((i % 16) as u32, i % 997, i.is_multiple_of(3));
             black_box(p)
         });
     });
@@ -65,7 +65,12 @@ fn bench_dram(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             now += 1000;
-            black_box(d.access(now, Op::Read, RowCol::new(i % 4096, ((i * 64) % 8128) as u32), 64))
+            black_box(d.access(
+                now,
+                Op::Read,
+                RowCol::new(i % 4096, ((i * 64) % 8128) as u32),
+                64,
+            ))
         });
     });
     g.finish();

@@ -6,6 +6,9 @@
 //! accuracy equals the hit ratio). If the two are close, Alloy's miss
 //! predictor buys nothing at Unison's hit rates — the paper's argument
 //! for dropping it.
+//!
+//! The shadow-predictor cells are custom, so they run through the
+//! harness's generic parallel map (one cell per workload).
 
 use serde::Serialize;
 use unison_bench::shadow::ShadowMissPredictor;
@@ -13,7 +16,7 @@ use unison_bench::table::pct;
 use unison_bench::{table5_size, BenchOpts, Table};
 use unison_core::{DramCacheModel, MemPorts, UnisonCache, UnisonConfig};
 use unison_sim::System;
-use unison_trace::{workloads, WorkloadGen};
+use unison_trace::{workloads, WorkloadGen, WorkloadSpec};
 
 #[derive(Serialize)]
 struct Row {
@@ -23,46 +26,49 @@ struct Row {
     dynamic_map_i_accuracy: f64,
 }
 
+fn run_cell(opts: &BenchOpts, w: &WorkloadSpec) -> Row {
+    let nominal = table5_size(w.name);
+    let scaled_cache = opts.cfg.scaled_cache_bytes(nominal);
+    let cache = ShadowMissPredictor::new(UnisonCache::new(
+        UnisonConfig::new(scaled_cache).with_nominal(nominal),
+    ));
+    let mut sys = System::new(16, cache, MemPorts::paper_default(), opts.cfg.core);
+    let mut trace = WorkloadGen::new(w.clone().scaled(opts.cfg.scale), opts.cfg.seed);
+    let total = opts.cfg.accesses_for(scaled_cache);
+    let warm = (total as f64 * opts.cfg.warmup_fraction) as u64;
+    sys.run(&mut trace, warm);
+    sys.reset_measurement();
+    sys.run(&mut trace, total - warm);
+    let hit_ratio = 1.0 - sys.cache().stats().miss_ratio();
+    let (cache, _) = sys.into_parts();
+    Row {
+        workload: w.name.to_string(),
+        hit_ratio,
+        static_always_hit_accuracy: hit_ratio,
+        dynamic_map_i_accuracy: cache.shadow_accuracy(),
+    }
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Ablation: static always-hit vs dynamic MAP-I prediction on Unison Cache");
 
-    let mut rows = Vec::new();
+    let cells: Vec<WorkloadSpec> = workloads::all().into_iter().collect();
+    let rows = opts.campaign().map(&cells, |w| run_cell(&opts, w));
+
     let mut t = Table::new([
         "Workload",
         "UC hit ratio",
         "static accuracy",
         "dynamic MAP-I accuracy",
     ]);
-    for w in workloads::all() {
-        let nominal = table5_size(w.name);
-        let scaled_cache = opts.cfg.scaled_cache_bytes(nominal);
-        let cache = ShadowMissPredictor::new(UnisonCache::new(
-            UnisonConfig::new(scaled_cache).with_nominal(nominal),
-        ));
-        let mut sys = System::new(16, cache, MemPorts::paper_default(), opts.cfg.core);
-        let mut trace = WorkloadGen::new(w.clone().scaled(opts.cfg.scale), opts.cfg.seed);
-        let total = opts.cfg.accesses_for(scaled_cache);
-        let warm = (total as f64 * opts.cfg.warmup_fraction) as u64;
-        sys.run(&mut trace, warm);
-        sys.reset_measurement();
-        sys.run(&mut trace, total - warm);
-        let hit_ratio = 1.0 - sys.cache().stats().miss_ratio();
-        let (cache, _) = sys.into_parts();
-        let dynamic = cache.shadow_accuracy();
+    for r in &rows {
         t.row([
-            w.name.to_string(),
-            pct(hit_ratio),
-            pct(hit_ratio),
-            pct(dynamic),
+            r.workload.clone(),
+            pct(r.hit_ratio),
+            pct(r.static_always_hit_accuracy),
+            pct(r.dynamic_map_i_accuracy),
         ]);
-        rows.push(Row {
-            workload: w.name.to_string(),
-            hit_ratio,
-            static_always_hit_accuracy: hit_ratio,
-            dynamic_map_i_accuracy: dynamic,
-        });
-        eprintln!("  ({} done)", w.name);
     }
     t.print();
     println!("\npaper claim: with ~90%+ hit ratios the static policy matches the dynamic");

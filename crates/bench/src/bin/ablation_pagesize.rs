@@ -7,8 +7,8 @@
 
 use serde::Serialize;
 use unison_bench::table::{pct, speedup};
-use unison_bench::{table5_size, BenchOpts, Table};
-use unison_sim::{run_experiment, Design};
+use unison_bench::{table5_grid, table5_size, BenchOpts, Table};
+use unison_sim::Design;
 use unison_trace::workloads;
 
 #[derive(Serialize)]
@@ -26,6 +26,9 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Ablation: Unison Cache page size, 960B vs 1984B");
 
+    let grid = table5_grid([Design::Unison, Design::Unison1984]);
+    let results = opts.campaign().run_speedups(&grid);
+
     let mut rows = Vec::new();
     let mut t = Table::new([
         "Workload",
@@ -38,31 +41,35 @@ fn main() {
     ]);
     for w in workloads::all() {
         let size = table5_size(w.name);
-        let base = run_experiment(Design::NoCache, 0, &w, &opts.cfg);
-        let a = run_experiment(Design::Unison, size, &w, &opts.cfg);
-        let b = run_experiment(Design::Unison1984, size, &w, &opts.cfg);
+        let a = results
+            .get(w.name, &Design::Unison.name(), size)
+            .expect("grid cell present");
+        let b = results
+            .get(w.name, &Design::Unison1984.name(), size)
+            .expect("grid cell present");
+        let (sa, sb) = (a.speedup.expect("speedup"), b.speedup.expect("speedup"));
         t.row([
             w.name.to_string(),
-            pct(a.cache.miss_ratio()),
-            pct(b.cache.miss_ratio()),
-            pct(a.cache.fp_accuracy()),
-            pct(b.cache.fp_accuracy()),
-            speedup(a.uipc / base.uipc),
-            speedup(b.uipc / base.uipc),
+            pct(a.run.cache.miss_ratio()),
+            pct(b.run.cache.miss_ratio()),
+            pct(a.run.cache.fp_accuracy()),
+            pct(b.run.cache.fp_accuracy()),
+            speedup(sa),
+            speedup(sb),
         ]);
         rows.push(Row {
             workload: w.name.to_string(),
-            miss_960: a.cache.miss_ratio(),
-            miss_1984: b.cache.miss_ratio(),
-            fp_acc_960: a.cache.fp_accuracy(),
-            fp_acc_1984: b.cache.fp_accuracy(),
-            speedup_960: a.uipc / base.uipc,
-            speedup_1984: b.uipc / base.uipc,
+            miss_960: a.run.cache.miss_ratio(),
+            miss_1984: b.run.cache.miss_ratio(),
+            fp_acc_960: a.run.cache.fp_accuracy(),
+            fp_acc_1984: b.run.cache.fp_accuracy(),
+            speedup_960: sa,
+            speedup_1984: sb,
         });
-        eprintln!("  ({} done)", w.name);
     }
     t.print();
     println!("\npaper shape: 960B pages predict footprints better on average; the gap is");
     println!("             largest on low-spatial-locality workloads (Data Analytics).");
     opts.maybe_dump_json(&rows);
+    opts.maybe_dump_csv(&results);
 }

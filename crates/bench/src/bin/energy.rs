@@ -8,9 +8,9 @@
 
 use serde::Serialize;
 use unison_bench::table::{pct, size_label};
-use unison_bench::{table5_size, BenchOpts, Table};
+use unison_bench::{table5_grid, table5_size, BenchOpts, Table};
 use unison_dram::EnergyParams;
-use unison_sim::{run_experiment, Design};
+use unison_sim::Design;
 use unison_trace::workloads;
 
 #[derive(Serialize)]
@@ -29,7 +29,15 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Section V.D: DRAM row activations and dynamic energy");
 
-    let designs = [Design::Alloy, Design::Footprint, Design::Unison, Design::NoCache];
+    let designs = [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::NoCache,
+    ];
+    let grid = table5_grid(designs);
+    let results = opts.campaign().run(&grid);
+
     let mut rows = Vec::new();
     for w in workloads::all() {
         let size = table5_size(w.name);
@@ -43,16 +51,22 @@ fn main() {
             "dyn energy (mJ)",
         ]);
         for d in designs {
-            let r = run_experiment(d, size, &w, &opts.cfg);
+            let r = &results
+                .get(w.name, &d.name(), size)
+                .expect("grid cell present")
+                .run;
             let ki = r.instructions as f64 / 1000.0;
             let off_acts = r.offchip_energy.activations as f64;
             let st_acts = r.stacked_energy.activations as f64;
             let off_blocks =
                 (r.offchip_energy.bytes_read + r.offchip_energy.bytes_written) as f64 / 64.0;
             let dyn_mj = r.offchip_energy.breakdown(&EnergyParams::ddr3()).total_mj()
-                + r.stacked_energy.breakdown(&EnergyParams::stacked()).total_mj();
+                + r.stacked_energy
+                    .breakdown(&EnergyParams::stacked())
+                    .total_mj();
             let off_row_hits = r.offchip.row_hits as f64
-                / (r.offchip.row_hits + r.offchip.row_empty + r.offchip.row_conflicts).max(1) as f64;
+                / (r.offchip.row_hits + r.offchip.row_empty + r.offchip.row_conflicts).max(1)
+                    as f64;
             t.row([
                 d.name(),
                 format!("{:.2}", off_acts / ki),
@@ -80,4 +94,5 @@ fn main() {
     println!("             also cut total off-chip traffic vs the uncached baseline.");
 
     opts.maybe_dump_json(&rows);
+    opts.maybe_dump_csv(&results);
 }

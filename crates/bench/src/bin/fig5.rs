@@ -5,8 +5,11 @@
 use serde::Serialize;
 use unison_bench::table::{pct, size_label};
 use unison_bench::{BenchOpts, Table};
-use unison_sim::{run_experiment, Design};
+use unison_harness::ExperimentGrid;
+use unison_sim::Design;
 use unison_trace::workloads;
+
+const ASSOCS: [u32; 3] = [1, 4, 32];
 
 #[derive(Serialize)]
 struct Point {
@@ -20,26 +23,33 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Figure 5: Unison Cache miss ratio vs associativity (960B pages)");
 
+    let grid = ExperimentGrid::new()
+        .designs(ASSOCS.map(Design::UnisonAssoc))
+        .workloads(workloads::all())
+        .sizes([128 << 20, 1 << 30])
+        .sizes_for("TPC-H", [1 << 30, 8u64 << 30]);
+    let results = opts.campaign().run(&grid);
+
     let mut points = Vec::new();
     let mut t = Table::new(["Workload", "Size", "1-way", "4-way", "32-way", "4-way gain"]);
     for w in workloads::all() {
-        let sizes: [u64; 2] = if w.name == "TPC-H" {
-            [1 << 30, 8 << 30]
-        } else {
-            [128 << 20, 1 << 30]
-        };
-        for size in sizes {
-            let mut ratios = Vec::new();
-            for assoc in [1u32, 4, 32] {
-                let r = run_experiment(Design::UnisonAssoc(assoc), size, &w, &opts.cfg);
-                ratios.push(r.cache.miss_ratio());
-                points.push(Point {
-                    workload: w.name.to_string(),
-                    cache_bytes: size,
-                    assoc,
-                    miss_ratio: r.cache.miss_ratio(),
-                });
-            }
+        for &size in grid.sizes_of(w.name) {
+            let ratios: Vec<f64> = ASSOCS
+                .iter()
+                .map(|&assoc| {
+                    let cell = results
+                        .get(w.name, &Design::UnisonAssoc(assoc).name(), size)
+                        .expect("grid cell present");
+                    let miss = cell.run.cache.miss_ratio();
+                    points.push(Point {
+                        workload: w.name.to_string(),
+                        cache_bytes: size,
+                        assoc,
+                        miss_ratio: miss,
+                    });
+                    miss
+                })
+                .collect();
             t.row([
                 w.name.to_string(),
                 size_label(size),
@@ -48,7 +58,6 @@ fn main() {
                 pct(ratios[2]),
                 format!("{:.2}x", ratios[0] / ratios[1].max(1e-9)),
             ]);
-            eprintln!("  ({} {} done)", w.name, size_label(size));
         }
     }
     t.print();
@@ -56,4 +65,5 @@ fn main() {
     println!("             32-way adds little beyond 4-way (paper: 'no significant reduction').");
 
     opts.maybe_dump_json(&points);
+    opts.maybe_dump_csv(&results);
 }

@@ -4,7 +4,8 @@
 use serde::Serialize;
 use unison_bench::table::{pct, size_label};
 use unison_bench::{BenchOpts, Table, CLOUD_SIZES, TPCH_SIZES};
-use unison_sim::{run_experiment, Design};
+use unison_harness::ExperimentGrid;
+use unison_sim::Design;
 use unison_trace::workloads;
 
 #[derive(Serialize)]
@@ -20,31 +21,49 @@ fn main() {
     opts.print_header("Figure 6: DRAM cache miss ratio, Alloy vs Footprint vs Unison");
 
     let designs = [Design::Alloy, Design::Footprint, Design::Unison];
+    let grid = ExperimentGrid::new()
+        .designs(designs)
+        .workloads(workloads::all())
+        .sizes(CLOUD_SIZES)
+        .sizes_for("TPC-H", TPCH_SIZES);
+    let results = opts.campaign().run(&grid);
+
     let mut points = Vec::new();
     for w in workloads::all() {
-        let sizes: &[u64] = if w.name == "TPC-H" { &TPCH_SIZES } else { &CLOUD_SIZES };
+        let sizes = grid.sizes_of(w.name);
         let mut t = Table::new(["Design", "128MB/1GB", "256MB/2GB", "512MB/4GB", "1GB/8GB"]);
         println!("-- {} --", w.name);
         for d in designs {
             let mut cells = vec![d.name()];
             for &size in sizes {
-                let r = run_experiment(d, size, &w, &opts.cfg);
-                cells.push(pct(r.cache.miss_ratio()));
+                let cell = results
+                    .get(w.name, &d.name(), size)
+                    .expect("grid cell present");
+                let miss = cell.run.cache.miss_ratio();
+                cells.push(pct(miss));
                 points.push(Point {
                     workload: w.name.to_string(),
                     design: d.name(),
                     cache_bytes: size,
-                    miss_ratio: r.cache.miss_ratio(),
+                    miss_ratio: miss,
                 });
             }
             t.row(cells);
         }
         t.print();
-        println!("  (sizes: {})\n", sizes.iter().map(|&s| size_label(s)).collect::<Vec<_>>().join(", "));
+        println!(
+            "  (sizes: {})\n",
+            sizes
+                .iter()
+                .map(|&s| size_label(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     println!("paper shape: Alloy far above Footprint/Unison everywhere (smallest gap on Data");
     println!("             Analytics); Footprint and Unison close; all fall with cache size;");
     println!("             TPC-H needs multi-GB caches before Alloy sees real hit rates.");
 
     opts.maybe_dump_json(&points);
+    opts.maybe_dump_csv(&results);
 }

@@ -1,11 +1,17 @@
 //! Figure 7: performance (speedup over the no-DRAM-cache baseline) of
 //! Alloy, Footprint, Unison, and the Ideal cache for the five CloudSuite
 //! workloads across 128 MB–1 GB, plus the geometric mean.
+//!
+//! The grid is declared once and executed by the harness: independent
+//! cells run in parallel and the NoCache baseline is simulated exactly
+//! once per workload (not once per design×size as the old serial loop
+//! risked).
 
 use serde::Serialize;
 use unison_bench::table::{size_label, speedup};
 use unison_bench::{BenchOpts, Table, CLOUD_SIZES};
-use unison_sim::{run_experiment, Design};
+use unison_harness::ExperimentGrid;
+use unison_sim::Design;
 use unison_trace::workloads;
 
 #[derive(Serialize)]
@@ -20,18 +26,29 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Figure 7: speedup over no-DRAM-cache baseline (CloudSuite)");
 
-    let designs = [Design::Alloy, Design::Footprint, Design::Unison, Design::Ideal];
-    let mut points: Vec<Point> = Vec::new();
+    let designs = [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::Ideal,
+    ];
+    let grid = ExperimentGrid::new()
+        .designs(designs)
+        .workloads(workloads::cloudsuite())
+        .sizes(CLOUD_SIZES);
+    let results = opts.campaign().run_speedups(&grid);
 
+    let mut points: Vec<Point> = Vec::new();
     for w in workloads::cloudsuite() {
-        let base = run_experiment(Design::NoCache, 0, &w, &opts.cfg);
         let mut t = Table::new(["Design", "128MB", "256MB", "512MB", "1024MB"]);
         println!("-- {} --", w.name);
         for d in designs {
             let mut cells = vec![d.name()];
             for &size in &CLOUD_SIZES {
-                let r = run_experiment(d, size, &w, &opts.cfg);
-                let s = r.uipc / base.uipc;
+                let cell = results
+                    .get(w.name, &d.name(), size)
+                    .expect("grid cell present");
+                let s = cell.speedup.expect("speedup campaign");
                 cells.push(speedup(s));
                 points.push(Point {
                     workload: w.name.to_string(),
@@ -52,20 +69,29 @@ fn main() {
     for d in designs {
         let mut cells = vec![d.name()];
         for &size in &CLOUD_SIZES {
-            let vals: Vec<f64> = points
-                .iter()
-                .filter(|p| p.design == d.name() && p.cache_bytes == size)
-                .map(|p| p.speedup)
-                .collect();
-            let gm = vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64;
-            cells.push(speedup(gm.exp()));
+            let gm = results
+                .geomean_speedup(&d.name(), size)
+                .expect("non-empty speedup set");
+            cells.push(speedup(gm));
         }
         t.row(cells);
     }
     t.print();
-    println!("\n(sizes: {})", CLOUD_SIZES.iter().map(|&s| size_label(s)).collect::<Vec<_>>().join(", "));
+    println!(
+        "\n(sizes: {})",
+        CLOUD_SIZES
+            .iter()
+            .map(|&s| size_label(s))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "(baselines: {} simulated, {} served from the memo cache)",
+        results.baseline_runs, results.baseline_hits
+    );
     println!("paper shape: Footprint leads at small sizes; Unison catches up and overtakes as");
     println!("             size grows (FC tag latency); all below Ideal; Data Serving largest.");
 
     opts.maybe_dump_json(&points);
+    opts.maybe_dump_csv(&results);
 }

@@ -4,9 +4,10 @@
 //! its hit-ratio advantage.
 
 use serde::Serialize;
-use unison_bench::table::{size_label, speedup};
+use unison_bench::table::speedup;
 use unison_bench::{BenchOpts, Table, TPCH_SIZES};
-use unison_sim::{run_experiment, Design};
+use unison_harness::ExperimentGrid;
+use unison_sim::Design;
 use unison_trace::workloads;
 
 #[derive(Serialize)]
@@ -21,25 +22,34 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Figure 8: speedup over no-DRAM-cache baseline (TPC-H, 1-8GB)");
 
-    let w = workloads::tpch();
-    let base = run_experiment(Design::NoCache, 0, &w, &opts.cfg);
-    let designs = [Design::Alloy, Design::Footprint, Design::Unison, Design::Ideal];
+    let designs = [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::Ideal,
+    ];
+    let grid = ExperimentGrid::new()
+        .designs(designs)
+        .workload(workloads::tpch())
+        .sizes(TPCH_SIZES);
+    let results = opts.campaign().run_speedups(&grid);
 
     let mut points = Vec::new();
     let mut t = Table::new(["Design", "1GB", "2GB", "4GB", "8GB"]);
     for d in designs {
         let mut cells = vec![d.name()];
         for &size in &TPCH_SIZES {
-            let r = run_experiment(d, size, &w, &opts.cfg);
-            let s = r.uipc / base.uipc;
+            let cell = results
+                .get("TPC-H", &d.name(), size)
+                .expect("grid cell present");
+            let s = cell.speedup.expect("speedup campaign");
             cells.push(speedup(s));
             points.push(Point {
                 design: d.name(),
                 cache_bytes: size,
                 speedup: s,
-                miss_ratio: r.cache.miss_ratio(),
+                miss_ratio: cell.run.cache.miss_ratio(),
             });
-            eprintln!("  ({} {} done)", d.name(), size_label(size));
         }
         t.row(cells);
     }
@@ -49,4 +59,5 @@ fn main() {
     println!("             note FC above 256-512MB is hypothetical (50MB SRAM tags @8GB).");
 
     opts.maybe_dump_json(&points);
+    opts.maybe_dump_csv(&results);
 }

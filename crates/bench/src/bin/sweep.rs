@@ -1,0 +1,235 @@
+//! `sweep`: run an arbitrary user-specified experiment grid in one
+//! command.
+//!
+//! ```sh
+//! cargo run --release -p unison-bench --bin sweep -- \
+//!     --designs unison,alloy,footprint,ideal \
+//!     --workloads "Web Search,TPC-H" \
+//!     --sizes 256M,1G --seeds 42,43 \
+//!     --threads 8 --csv sweep.csv --json sweep.json
+//! ```
+//!
+//! Defaults: the four headline designs, every workload, 512 MB, speedup
+//! mode (memoized NoCache baselines). `--metric miss` switches the table
+//! to miss ratios and skips the baselines entirely. All shared bench
+//! flags (`--scale`, `--seed`, `--threads`, `--quick`, sinks) apply.
+
+use unison_bench::table::{pct, size_label, speedup};
+use unison_bench::{BenchOpts, Table};
+use unison_harness::ExperimentGrid;
+use unison_sim::Design;
+use unison_trace::{workloads, WorkloadSpec};
+
+struct SweepArgs {
+    designs: Vec<Design>,
+    workloads: Vec<WorkloadSpec>,
+    sizes: Vec<u64>,
+    seeds: Vec<u64>,
+    metric: Metric,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Metric {
+    Speedup,
+    Miss,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: sweep [--designs a,b,..] [--workloads \"W1,W2,..\"] [--sizes 128M,1G,..] \
+         [--seeds s1,s2,..] [--metric speedup|miss] [shared bench flags]"
+    );
+    eprintln!("  designs: alloy, footprint, unison, unison1984, unison-<N>way, ideal, nocache");
+    eprintln!(
+        "  workloads: {}",
+        workloads::all()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_size(s: &str) -> u64 {
+    let t = s.trim().to_ascii_uppercase();
+    let (num, mult) = if let Some(n) = t.strip_suffix("GB").or_else(|| t.strip_suffix('G')) {
+        (n, 1u64 << 30)
+    } else if let Some(n) = t.strip_suffix("MB").or_else(|| t.strip_suffix('M')) {
+        (n, 1u64 << 20)
+    } else if let Some(n) = t.strip_suffix("KB").or_else(|| t.strip_suffix('K')) {
+        (n, 1u64 << 10)
+    } else if let Some(n) = t.strip_suffix('B') {
+        // Raw bytes must be explicit ("134217728B"); a bare number like
+        // "512" is almost always a forgotten unit, so reject it rather
+        // than silently sweeping a 512-byte cache.
+        (n, 1u64)
+    } else {
+        fail(&format!(
+            "size {s:?} needs a unit suffix (K/M/G, e.g. 512M, or B for raw bytes)"
+        ))
+    };
+    num.parse::<u64>()
+        .unwrap_or_else(|_| fail(&format!("bad size {s:?}")))
+        .checked_mul(mult)
+        .unwrap_or_else(|| fail(&format!("size {s:?} overflows")))
+}
+
+fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
+    let mut args = SweepArgs {
+        designs: vec![
+            Design::Alloy,
+            Design::Footprint,
+            Design::Unison,
+            Design::Ideal,
+        ],
+        workloads: workloads::all(),
+        sizes: vec![512 << 20],
+        seeds: Vec::new(),
+        metric: Metric::Speedup,
+    };
+    let mut it = extra.into_iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--designs" => {
+                args.designs = grab()
+                    .split(',')
+                    .map(|d| {
+                        Design::from_name(d)
+                            .unwrap_or_else(|| fail(&format!("unknown design {d:?}")))
+                    })
+                    .collect();
+            }
+            "--workloads" => {
+                args.workloads = grab()
+                    .split(',')
+                    .map(|w| {
+                        workloads::by_name(w.trim())
+                            .unwrap_or_else(|| fail(&format!("unknown workload {w:?}")))
+                    })
+                    .collect();
+            }
+            "--sizes" => args.sizes = grab().split(',').map(parse_size).collect(),
+            "--seeds" => {
+                args.seeds = grab()
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad seed {s:?}")))
+                    })
+                    .collect();
+            }
+            "--metric" => {
+                args.metric = match grab().as_str() {
+                    "speedup" => Metric::Speedup,
+                    "miss" => Metric::Miss,
+                    m => fail(&format!("unknown metric {m:?} (speedup|miss)")),
+                };
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if args.designs.is_empty() || args.workloads.is_empty() || args.sizes.is_empty() {
+        fail("designs, workloads, and sizes must all be non-empty");
+    }
+    args
+}
+
+fn main() {
+    let (opts, extra) = BenchOpts::parse_known(std::env::args().skip(1));
+    let sweep = parse_sweep_args(extra);
+    opts.print_header("Sweep: user-specified experiment grid");
+
+    let mut grid = ExperimentGrid::new()
+        .designs(sweep.designs.clone())
+        .workloads(sweep.workloads.clone())
+        .sizes(sweep.sizes.clone());
+    if !sweep.seeds.is_empty() {
+        grid = grid.seeds(sweep.seeds.clone());
+    }
+    let campaign = opts.campaign();
+    let results = match sweep.metric {
+        Metric::Speedup => campaign.run_speedups(&grid),
+        Metric::Miss => campaign.run(&grid),
+    };
+
+    let size_labels: Vec<String> = sweep.sizes.iter().map(|&s| size_label(s)).collect();
+    let headers: Vec<String> = std::iter::once("Design".to_string())
+        .chain(size_labels.clone())
+        .collect();
+    let seeds_shown: Vec<u64> = if sweep.seeds.is_empty() {
+        vec![opts.cfg.seed]
+    } else {
+        sweep.seeds.clone()
+    };
+
+    for w in &sweep.workloads {
+        println!(
+            "-- {} ({}) --",
+            w.name,
+            match sweep.metric {
+                Metric::Speedup => "speedup over NoCache",
+                Metric::Miss => "miss ratio %",
+            }
+        );
+        let mut t = Table::new(headers.clone());
+        for d in &sweep.designs {
+            let mut cells = vec![d.name()];
+            for &size in &sweep.sizes {
+                // Average over seeds so multi-seed sweeps stay one table.
+                let vals: Vec<f64> = seeds_shown
+                    .iter()
+                    .filter_map(|&seed| results.get_seeded(w.name, &d.name(), size, seed))
+                    .map(|c| match sweep.metric {
+                        Metric::Speedup => c.speedup.unwrap_or(f64::NAN),
+                        Metric::Miss => c.run.cache.miss_ratio(),
+                    })
+                    .collect();
+                let v = unison_harness::stats::mean(&vals).unwrap_or(f64::NAN);
+                cells.push(match sweep.metric {
+                    Metric::Speedup => speedup(v),
+                    Metric::Miss => pct(v),
+                });
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+
+    if sweep.metric == Metric::Speedup && sweep.workloads.len() > 1 {
+        println!("-- Geometric Mean across workloads --");
+        let mut t = Table::new(headers);
+        for d in &sweep.designs {
+            let mut cells = vec![d.name()];
+            for &size in &sweep.sizes {
+                cells.push(
+                    results
+                        .geomean_speedup(&d.name(), size)
+                        .map(speedup)
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+
+    println!(
+        "{} cells on {} thread(s); baselines: {} simulated, {} memo hits",
+        results.cells().len(),
+        opts.threads,
+        results.baseline_runs,
+        results.baseline_hits
+    );
+
+    opts.maybe_dump_json(&results.cells);
+    opts.maybe_dump_csv(&results);
+}

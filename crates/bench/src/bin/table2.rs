@@ -24,7 +24,12 @@ fn main() {
     let ft = FootprintTable::paper_default(15);
     let st = SingletonTable::paper_default();
 
-    let mut t = Table::new(["Characteristic", "Alloy Cache", "Footprint Cache", "Unison Cache"]);
+    let mut t = Table::new([
+        "Characteristic",
+        "Alloy Cache",
+        "Footprint Cache",
+        "Unison Cache",
+    ]);
     t.row([
         "Associativity".to_string(),
         "direct-mapped".to_string(),
@@ -64,7 +69,11 @@ fn main() {
     ]);
     t.row([
         "Miss-predictor size".to_string(),
-        format!("{}B total ({}B/core x16)", mp.storage_bytes(), mp.storage_bytes() / 16),
+        format!(
+            "{}B total ({}B/core x16)",
+            mp.storage_bytes(),
+            mp.storage_bytes() / 16
+        ),
         "-".to_string(),
         "-".to_string(),
     ]);

@@ -1,17 +1,25 @@
-//! Benchmark harness regenerating every table and figure of the paper's
-//! evaluation (see DESIGN.md §4 for the experiment index).
+//! Experiment binaries regenerating every table and figure of the
+//! paper's evaluation (see README/DESIGN for the experiment index).
 //!
-//! Each binary prints the paper-style rows and accepts:
+//! Each binary **declares** its experiment grid and renders tables from
+//! the results; execution — parallel workers, memoized NoCache
+//! baselines, structured sinks — is `unison_harness`'s job. Shared
+//! flags:
 //!
 //! * `--scale N` — divide cache sizes *and* workload footprints by `N`
 //!   (default 8; shapes are preserved, see `unison_sim::SimConfig`);
 //! * `--accesses N` — trace-length floor per run;
 //! * `--seed N` — workload seed;
+//! * `--threads N` — worker-pool width (default: all hardware threads;
+//!   `1` reproduces the historical serial behaviour);
 //! * `--json PATH` — also dump machine-readable results;
+//! * `--csv PATH` — also dump the campaign's flat per-cell CSV;
 //! * `--quick` — tiny sizes for smoke runs (used by `cargo bench`).
 //!
 //! Binaries: `table2`, `table4`, `table5`, `fig5`, `fig6`, `fig7`,
-//! `fig8`, `energy`, `ablation_waypred`, `ablation_always_hit`.
+//! `fig8`, `energy`, `ablation_waypred`, `ablation_always_hit`,
+//! `ablation_pagesize`, and `sweep` (run an arbitrary user-specified
+//! grid in one command).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,4 +44,21 @@ pub fn table5_size(workload: &str) -> u64 {
     } else {
         1 << 30
     }
+}
+
+/// Grid over all workloads at their Table V size — the shape shared by
+/// `table5`, `energy`, `ablation_pagesize`, and the smoke digest. The
+/// size axis is driven by [`table5_size`], so declaration and lookup
+/// cannot diverge.
+pub fn table5_grid(
+    designs: impl IntoIterator<Item = unison_sim::Design>,
+) -> unison_harness::ExperimentGrid {
+    let workloads = unison_trace::workloads::all();
+    let mut grid = unison_harness::ExperimentGrid::new()
+        .designs(designs)
+        .workloads(workloads.clone());
+    for w in &workloads {
+        grid = grid.sizes_for(w.name, [table5_size(w.name)]);
+    }
+    grid
 }

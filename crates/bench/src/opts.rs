@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use unison_harness::{sink, Campaign, CampaignResult};
 use unison_sim::SimConfig;
 
 /// Parsed options for one experiment binary.
@@ -9,8 +10,12 @@ use unison_sim::SimConfig;
 pub struct BenchOpts {
     /// Simulation configuration (scale, accesses, seed, core model).
     pub cfg: SimConfig,
+    /// Worker threads for the experiment campaign (`1` = serial).
+    pub threads: usize,
     /// Optional JSON output path.
     pub json: Option<PathBuf>,
+    /// Optional CSV output path (flat per-cell campaign results).
+    pub csv: Option<PathBuf>,
     /// Quick mode: heavily scaled-down smoke run.
     pub quick: bool,
 }
@@ -19,7 +24,9 @@ impl Default for BenchOpts {
     fn default() -> Self {
         BenchOpts {
             cfg: SimConfig::bench_default(),
+            threads: unison_harness::pool::default_threads(),
             json: None,
+            csv: None,
             quick: false,
         }
     }
@@ -38,31 +45,80 @@ impl BenchOpts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let (opts, leftover) = Self::parse_known(args);
+        if let Some(flag) = leftover.first() {
+            usage(&format!("unknown flag {flag}"));
+        }
+        opts
+    }
+
+    /// Parses the shared flags, returning unrecognized arguments to the
+    /// caller (used by binaries like `sweep` that add their own flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed shared-flag values.
+    pub fn parse_known<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        let args: Vec<String> = args.into_iter().collect();
         let mut opts = BenchOpts::default();
+        // Apply --quick's base config *before* the flag loop so explicit
+        // flags win regardless of argument order (`--seed 7 --quick`
+        // must honor seed 7 just like `--quick --seed 7`).
+        if args.iter().any(|a| a == "--quick") {
+            opts.quick = true;
+            opts.cfg = SimConfig::quick_test();
+        }
+        let mut leftover = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut grab = |name: &str| -> String {
-                it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                it.next()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
             };
             match arg.as_str() {
-                "--scale" => opts.cfg.scale = grab("--scale").parse().unwrap_or_else(|_| usage("bad --scale")),
+                "--scale" => {
+                    opts.cfg.scale = grab("--scale")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --scale"))
+                }
                 "--accesses" => {
-                    opts.cfg.accesses = grab("--accesses").parse().unwrap_or_else(|_| usage("bad --accesses"))
+                    opts.cfg.accesses = grab("--accesses")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --accesses"))
                 }
-                "--seed" => opts.cfg.seed = grab("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+                "--seed" => {
+                    opts.cfg.seed = grab("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seed"))
+                }
+                "--threads" => {
+                    opts.threads = grab("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --threads"))
+                }
                 "--json" => opts.json = Some(PathBuf::from(grab("--json"))),
-                "--quick" => {
-                    opts.quick = true;
-                    opts.cfg = SimConfig::quick_test();
-                }
+                "--csv" => opts.csv = Some(PathBuf::from(grab("--csv"))),
+                "--quick" => {} // already applied before the loop
                 "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other}")),
+                other => leftover.push(other.to_string()),
             }
         }
         if opts.cfg.scale == 0 {
             usage("--scale must be positive");
         }
-        opts
+        if opts.threads == 0 {
+            usage("--threads must be positive");
+        }
+        (opts, leftover)
+    }
+
+    /// Builds the experiment [`Campaign`] for these options: the shared
+    /// `SimConfig`, the requested pool width, and progress streaming (off
+    /// in `--quick` smoke runs to keep bench output clean).
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new(self.cfg)
+            .threads(self.threads)
+            .progress(!self.quick)
     }
 
     /// Prints the standard experiment header (system configuration per
@@ -73,8 +129,8 @@ impl BenchOpts {
             "system: 16-core pod @3GHz | stacked DRAM 4ch x 128-bit @1.6GHz | off-chip DDR3-1600 (Table III)"
         );
         println!(
-            "run: scale 1/{} (cache sizes and workload footprints divided together), >= {} accesses/run, seed {}",
-            self.cfg.scale, self.cfg.accesses, self.cfg.seed
+            "run: scale 1/{} (cache sizes and workload footprints divided together), >= {} accesses/run, seed {}, {} worker thread(s)",
+            self.cfg.scale, self.cfg.accesses, self.cfg.seed, self.threads
         );
         println!();
     }
@@ -87,6 +143,15 @@ impl BenchOpts {
             println!("\n(wrote {})", path.display());
         }
     }
+
+    /// Writes the campaign's flat CSV if `--csv` was given.
+    pub fn maybe_dump_csv(&self, results: &CampaignResult) {
+        if let Some(path) = &self.csv {
+            sink::write_csv(results, path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("\n(wrote {})", path.display());
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
@@ -94,7 +159,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale N] [--accesses N] [--seed N] [--json PATH] [--quick]"
+        "usage: <bin> [--scale N] [--accesses N] [--seed N] [--threads N] [--json PATH] [--csv PATH] [--quick]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -108,18 +173,33 @@ mod tests {
         let o = BenchOpts::parse(Vec::<String>::new());
         assert_eq!(o.cfg.scale, SimConfig::bench_default().scale);
         assert!(o.json.is_none());
+        assert!(o.csv.is_none());
+        assert!(o.threads >= 1);
     }
 
     #[test]
     fn parses_flags() {
         let o = BenchOpts::parse(
-            ["--scale", "16", "--seed", "7", "--json", "/tmp/x.json"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "16",
+                "--seed",
+                "7",
+                "--threads",
+                "3",
+                "--json",
+                "/tmp/x.json",
+                "--csv",
+                "/tmp/x.csv",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(o.cfg.scale, 16);
         assert_eq!(o.cfg.seed, 7);
+        assert_eq!(o.threads, 3);
         assert_eq!(o.json.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+        assert_eq!(o.csv.as_deref(), Some(std::path::Path::new("/tmp/x.csv")));
     }
 
     #[test]
@@ -127,5 +207,29 @@ mod tests {
         let o = BenchOpts::parse(["--quick".to_string()]);
         assert!(o.quick);
         assert_eq!(o.cfg.scale, SimConfig::quick_test().scale);
+    }
+
+    #[test]
+    fn explicit_flags_win_over_quick_in_any_order() {
+        for order in [["--seed", "7", "--quick"], ["--quick", "--seed", "7"]] {
+            let o = BenchOpts::parse(order.iter().map(|s| s.to_string()));
+            assert!(o.quick);
+            assert_eq!(o.cfg.seed, 7, "order {order:?} dropped --seed");
+            assert_eq!(o.cfg.scale, SimConfig::quick_test().scale);
+        }
+    }
+
+    #[test]
+    fn parse_known_returns_extras() {
+        let (o, rest) = BenchOpts::parse_known(
+            ["--threads", "2", "--designs", "unison,alloy"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.threads, 2);
+        assert_eq!(
+            rest,
+            vec!["--designs".to_string(), "unison,alloy".to_string()]
+        );
     }
 }

@@ -50,12 +50,12 @@ impl Table {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut s = String::new();
-            for i in 0..cols {
+            for (i, &w) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
                 if i > 0 {
                     s.push_str("  ");
                 }
-                s.push_str(&format!("{cell:<w$}", w = widths[i]));
+                s.push_str(&format!("{cell:<w$}"));
             }
             s.trim_end().to_string()
         };

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
-use unison_predictors::{MissPredictor, MissPrediction};
+use unison_predictors::{MissPrediction, MissPredictor};
 
 use crate::layout::{AlloyRowLayout, TAD_BYTES};
 use crate::model::{CacheAccess, DramCacheModel};
@@ -124,9 +124,12 @@ impl AlloyCache {
         let mut done = now;
         if old.valid() && old.dirty() {
             let victim_bn = u64::from(old.tag()) * self.num_tads + tad;
-            let wb = mem
-                .offchip
-                .access_addr(now, Op::Write, victim_bn * BLOCK_BYTES, BLOCK_BYTES as u32);
+            let wb = mem.offchip.access_addr(
+                now,
+                Op::Write,
+                victim_bn * BLOCK_BYTES,
+                BLOCK_BYTES as u32,
+            );
             self.stats.offchip_write_bytes += BLOCK_BYTES;
             self.stats.writeback_blocks += 1;
             done = done.max(wb.last_data_ps);
@@ -164,10 +167,7 @@ impl DramCacheModel for AlloyCache {
         // Miss prediction: one extra cycle of predictor latency.
         let (prediction, t0) = if self.cfg.miss_predictor {
             let p = self.mp.predict(u32::from(req.core), req.pc);
-            (
-                p,
-                now + cpu_cycles_to_ps(self.cfg.ctrl_overhead_cycles + 1),
-            )
+            (p, now + cpu_cycles_to_ps(self.cfg.ctrl_overhead_cycles + 1))
         } else {
             (
                 MissPrediction::Hit,
@@ -187,9 +187,9 @@ impl DramCacheModel for AlloyCache {
                 if is_hit {
                     let mut done = tag_known;
                     if req.is_write {
-                        let w = mem
-                            .stacked
-                            .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
+                        let w =
+                            mem.stacked
+                                .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
                         self.stats.stacked_write_bytes += u64::from(TAD_BYTES);
                         self.entries[tad as usize].set_dirty();
                         done = done.max(w.last_data_ps);
@@ -221,9 +221,9 @@ impl DramCacheModel for AlloyCache {
                 // Launch the off-chip access immediately; probe the cache
                 // in parallel to verify (dirty data must come from the
                 // cache).
-                let oc = mem
-                    .offchip
-                    .access_addr(t0, Op::Read, bn * BLOCK_BYTES, BLOCK_BYTES as u32);
+                let oc =
+                    mem.offchip
+                        .access_addr(t0, Op::Read, bn * BLOCK_BYTES, BLOCK_BYTES as u32);
                 self.stats.offchip_read_bytes += BLOCK_BYTES;
                 let probe = mem
                     .stacked
@@ -235,9 +235,9 @@ impl DramCacheModel for AlloyCache {
                     // serve from the cache (covers the dirty case).
                     let mut done = tag_known.max(oc.last_data_ps);
                     if req.is_write {
-                        let w = mem
-                            .stacked
-                            .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
+                        let w =
+                            mem.stacked
+                                .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
                         self.stats.stacked_write_bytes += u64::from(TAD_BYTES);
                         self.entries[tad as usize].set_dirty();
                         done = done.max(w.last_data_ps);
@@ -360,7 +360,12 @@ mod tests {
         let mut t = 0;
         // Cold misses with predicted-hit: serialized.
         let serial = {
-            let r = Request { core: 0, pc: miss_pc, addr: 0x100_0000, is_write: false };
+            let r = Request {
+                core: 0,
+                pc: miss_pc,
+                addr: 0x100_0000,
+                is_write: false,
+            };
             let a = ac.access(t, &r, &mut mem);
             t = a.done_ps;
             a.critical_ps
@@ -377,7 +382,12 @@ mod tests {
             t = a.done_ps;
         }
         let t_start = t + 10_000_000;
-        let r = Request { core: 0, pc: miss_pc, addr: 0x900_0000, is_write: false };
+        let r = Request {
+            core: 0,
+            pc: miss_pc,
+            addr: 0x900_0000,
+            is_write: false,
+        };
         let a = ac.access(t_start, &r, &mut mem);
         let parallel = a.critical_ps - t_start;
         assert!(

@@ -172,9 +172,12 @@ impl FootprintCache {
         let mut done = now;
         let dirty = Footprint::from_mask(u64::from(e.dirty), PAGE_BLOCKS);
         for b in dirty.iter() {
-            let rd = mem
-                .stacked
-                .access(now, Op::Read, self.data_loc(set, way, b), BLOCK_BYTES as u32);
+            let rd = mem.stacked.access(
+                now,
+                Op::Read,
+                self.data_loc(set, way, b),
+                BLOCK_BYTES as u32,
+            );
             let wr = mem.offchip.access_addr(
                 rd.last_data_ps,
                 Op::Write,
@@ -200,6 +203,7 @@ impl FootprintCache {
         done
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fetch_footprint(
         &mut self,
         now: Ps,
@@ -361,8 +365,8 @@ impl DramCacheModel for FootprintCache {
                     _ => None,
                 };
                 let predicted_fp = corrected.or_else(|| self.fp_table.predict(req.pc, offset));
-                let is_singleton_pred = corrected.is_none()
-                    && predicted_fp.map(|f| f.is_singleton()).unwrap_or(false);
+                let is_singleton_pred =
+                    corrected.is_none() && predicted_fp.map(|f| f.is_singleton()).unwrap_or(false);
 
                 if is_singleton_pred {
                     let oc = mem.offchip.access_addr(
@@ -390,8 +394,7 @@ impl DramCacheModel for FootprintCache {
                     if self.entry(set, way).valid {
                         evict_done = self.evict(tag_known, set, way, mem);
                     }
-                    let mut fetch =
-                        predicted_fp.unwrap_or_else(|| Footprint::full(PAGE_BLOCKS));
+                    let mut fetch = predicted_fp.unwrap_or_else(|| Footprint::full(PAGE_BLOCKS));
                     fetch.insert(offset);
                     let (crit, fill_done) =
                         self.fetch_footprint(tag_known, page, set, way, offset, fetch, mem);

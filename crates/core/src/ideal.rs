@@ -52,7 +52,9 @@ impl DramCacheModel for IdealCache {
         self.stats.hits += 1;
         let t0 = now + cpu_cycles_to_ps(self.ctrl_overhead_cycles);
         let op = if req.is_write { Op::Write } else { Op::Read };
-        let c = mem.stacked.access(t0, op, Self::loc(req), BLOCK_BYTES as u32);
+        let c = mem
+            .stacked
+            .access(t0, op, Self::loc(req), BLOCK_BYTES as u32);
         match op {
             Op::Read => self.stats.stacked_read_bytes += BLOCK_BYTES,
             Op::Write => self.stats.stacked_write_bytes += BLOCK_BYTES,

@@ -202,8 +202,14 @@ mod tests {
         let frac960 = t960 as f64 / gb8 as f64;
         let frac1984 = t1984 as f64 / gb8 as f64;
         assert!(frac1984 < frac960);
-        assert!((frac960 - 0.0625).abs() < 0.001, "960B tag fraction {frac960}");
-        assert!((frac1984 - 0.03125).abs() < 0.001, "1984B tag fraction {frac1984}");
+        assert!(
+            (frac960 - 0.0625).abs() < 0.001,
+            "960B tag fraction {frac960}"
+        );
+        assert!(
+            (frac1984 - 0.03125).abs() < 0.001,
+            "1984B tag fraction {frac1984}"
+        );
     }
 
     #[test]

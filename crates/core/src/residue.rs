@@ -27,7 +27,7 @@
 /// assert_eq!(mod_2n_minus_1(100, 5), 100 % 31);
 /// ```
 pub fn mod_2n_minus_1(x: u64, n: u32) -> u64 {
-    assert!(n >= 1 && n <= 32, "digit width must be 1..=32");
+    assert!((1..=32).contains(&n), "digit width must be 1..=32");
     let m = (1u64 << n) - 1;
     if m == 1 {
         return 0;

@@ -67,7 +67,10 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total misses of any kind.
     pub fn misses(&self) -> u64 {
-        self.trigger_misses + self.underprediction_misses + self.singleton_bypasses + self.block_misses
+        self.trigger_misses
+            + self.underprediction_misses
+            + self.singleton_bypasses
+            + self.block_misses
     }
 
     /// Miss ratio — the quantity of Figures 5 and 6.

@@ -294,9 +294,12 @@ impl UnisonCache {
         // Dirty blocks: read out of the cache row, write back off-chip.
         let dirty = Footprint::from_mask(u64::from(e.dirty), self.cfg.page_blocks);
         for b in dirty.iter() {
-            let rd = mem
-                .stacked
-                .access(meta.last_data_ps, Op::Read, self.data_loc(set, way, b), BLOCK_BYTES as u32);
+            let rd = mem.stacked.access(
+                meta.last_data_ps,
+                Op::Read,
+                self.data_loc(set, way, b),
+                BLOCK_BYTES as u32,
+            );
             let wr = mem.offchip.access_addr(
                 rd.last_data_ps,
                 Op::Write,
@@ -328,6 +331,7 @@ impl UnisonCache {
 
     /// Fetches `mask` from off-chip memory into (set, way), critical
     /// (trigger) block first. Returns `(critical_ready, all_done)`.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_footprint(
         &mut self,
         now: Ps,
@@ -581,8 +585,8 @@ impl DramCacheModel for UnisonCache {
                 };
 
                 let predicted_fp = corrected.or_else(|| self.fp_table.predict(req.pc, offset));
-                let is_singleton_pred = corrected.is_none()
-                    && predicted_fp.map(|f| f.is_singleton()).unwrap_or(false);
+                let is_singleton_pred =
+                    corrected.is_none() && predicted_fp.map(|f| f.is_singleton()).unwrap_or(false);
 
                 if is_singleton_pred {
                     // Bypass: forward the block, allocate nothing.
@@ -613,8 +617,8 @@ impl DramCacheModel for UnisonCache {
                         evict_done = self.evict(tag_known, set, way, mem);
                     }
                     // No history => conservative full-page default.
-                    let mut fetch = predicted_fp
-                        .unwrap_or_else(|| Footprint::full(self.cfg.page_blocks));
+                    let mut fetch =
+                        predicted_fp.unwrap_or_else(|| Footprint::full(self.cfg.page_blocks));
                     fetch.insert(offset);
 
                     let (crit, fill_done) =
@@ -641,11 +645,14 @@ impl DramCacheModel for UnisonCache {
                     }
                     self.touch_lru(set, way);
                     self.stats.trigger_misses += 1;
-                    return self.finish(now, CacheAccess {
-                        outcome: AccessOutcome::TriggerMiss,
-                        critical_ps: crit,
-                        done_ps: fill_done.max(evict_done),
-                    });
+                    return self.finish(
+                        now,
+                        CacheAccess {
+                            outcome: AccessOutcome::TriggerMiss,
+                            critical_ps: crit,
+                            done_ps: fill_done.max(evict_done),
+                        },
+                    );
                 }
             }
         };
@@ -843,7 +850,12 @@ mod tests {
         let pc = 0xa000;
         let mut t = 0;
         // Teach singleton for (pc, offset 3).
-        let r1 = Request { core: 0, pc, addr: 3 * 64, is_write: false };
+        let r1 = Request {
+            core: 0,
+            pc,
+            addr: 3 * 64,
+            is_write: false,
+        };
         let a = uc.access(t, &r1, &mut mem);
         t = a.done_ps;
         for k in 1..=4u64 {
@@ -852,18 +864,37 @@ mod tests {
         }
         // Bypass a fresh page.
         let base = 20 * sets * page_bytes;
-        let r2 = Request { core: 0, pc, addr: base + 3 * 64, is_write: false };
+        let r2 = Request {
+            core: 0,
+            pc,
+            addr: base + 3 * 64,
+            is_write: false,
+        };
         let a = uc.access(t, &r2, &mut mem);
         assert_eq!(a.outcome, AccessOutcome::SingletonBypass);
         t = a.done_ps;
         // Touch a *different* block of the bypassed page: correction
         // kicks in and the page is allocated this time.
-        let r3 = Request { core: 0, pc, addr: base + 9 * 64, is_write: false };
+        let r3 = Request {
+            core: 0,
+            pc,
+            addr: base + 9 * 64,
+            is_write: false,
+        };
         let a = uc.access(t, &r3, &mut mem);
         assert_eq!(a.outcome, AccessOutcome::TriggerMiss);
         t = a.done_ps;
         // Both blocks now resident.
-        let a = uc.access(t, &Request { core: 0, pc, addr: base + 3 * 64, is_write: false }, &mut mem);
+        let a = uc.access(
+            t,
+            &Request {
+                core: 0,
+                pc,
+                addr: base + 3 * 64,
+                is_write: false,
+            },
+            &mut mem,
+        );
         assert_eq!(a.outcome, AccessOutcome::Hit);
     }
 
@@ -950,7 +981,11 @@ mod tests {
         uc.reset_stats();
         assert_eq!(uc.stats().accesses, 0);
         let a2 = uc.access(a.done_ps, &read(0), &mut mem);
-        assert_eq!(a2.outcome, AccessOutcome::Hit, "contents must survive reset");
+        assert_eq!(
+            a2.outcome,
+            AccessOutcome::Hit,
+            "contents must survive reset"
+        );
     }
 
     #[test]

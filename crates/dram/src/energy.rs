@@ -25,8 +25,7 @@ impl EnergyCounters {
         let act_pre_pj = self.activations as f64 * params.act_pre_pj;
         let rd_wr_pj = self.bytes_read as f64 * params.read_pj_per_byte
             + self.bytes_written as f64 * params.write_pj_per_byte;
-        let io_pj =
-            (self.bytes_read + self.bytes_written) as f64 * params.io_pj_per_byte;
+        let io_pj = (self.bytes_read + self.bytes_written) as f64 * params.io_pj_per_byte;
         EnergyBreakdown {
             act_pre_pj,
             rd_wr_pj,

@@ -235,7 +235,10 @@ impl DramModel {
                 Op::Read => cas_at + clocks(t.t_rtp),
                 Op::Write => data_end + clocks(t.t_wr),
             };
-            b.earliest_pre = b.earliest_pre.max(b.act_at + clocks(t.t_ras)).max(pre_after);
+            b.earliest_pre = b
+                .earliest_pre
+                .max(b.act_at + clocks(t.t_ras))
+                .max(pre_after);
         }
         if op == Op::Write {
             self.rank_wtr_ready[rank_idx] = data_end + clocks(t.t_wtr);
@@ -410,7 +413,9 @@ mod tests {
     fn stats_and_energy_track_accesses() {
         let mut d = ddr3();
         d.access(0, Op::Read, RowCol::new(0, 0), 64);
-        let t1 = d.access(1000, Op::Write, RowCol::new(0, 64), 64).last_data_ps;
+        let t1 = d
+            .access(1000, Op::Write, RowCol::new(0, 64), 64)
+            .last_data_ps;
         d.access(t1, Op::Read, RowCol::new(0, 128), 64);
         let s = d.stats();
         assert_eq!(s.reads, 2);
@@ -448,7 +453,12 @@ mod tests {
         let mut d = DramModel::new(DramConfig::stacked());
         let mut now = 0;
         for i in 0..200 {
-            let c = d.access(now, Op::Read, RowCol::new(i % 37, ((i * 64) % 8128) as u32), 64);
+            let c = d.access(
+                now,
+                Op::Read,
+                RowCol::new(i % 37, ((i * 64) % 8128) as u32),
+                64,
+            );
             assert!(c.cas_ps >= now);
             assert!(c.first_data_ps > c.cas_ps);
             assert!(c.last_data_ps >= c.first_data_ps);

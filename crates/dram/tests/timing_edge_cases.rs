@@ -85,7 +85,12 @@ fn row_conflict_statistics_classify_correctly() {
     let mut d = DramModel::new(cfg);
     d.access(0, Op::Read, RowCol::new(0, 0), 64); // empty
     let t = d.access(1_000_000, Op::Read, RowCol::new(0, 64), 64); // hit
-    d.access(t.last_data_ps + 1_000_000, Op::Read, RowCol::new(stride, 0), 64); // conflict
+    d.access(
+        t.last_data_ps + 1_000_000,
+        Op::Read,
+        RowCol::new(stride, 0),
+        64,
+    ); // conflict
     let s = d.stats();
     assert_eq!(s.row_empty, 1);
     assert_eq!(s.row_hits, 1);

@@ -1,0 +1,127 @@
+//! Memoized baseline runs.
+//!
+//! Speedups are measured against the NoCache baseline, which depends only
+//! on `(workload, seed, SimConfig)` — never on the design or cache size
+//! under test. A 4-design × 4-size sweep therefore needs **one** baseline
+//! simulation per workload, not sixteen; this store provides exactly-once
+//! computation with cheap cached reads, safe to share across the worker
+//! pool.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use unison_sim::{run_baseline, RunResult, SimConfig};
+use unison_trace::WorkloadSpec;
+
+/// Memo key: (serialized workload spec, trace seed).
+type BaselineKey = (String, u64);
+
+/// Exactly-once cache of NoCache baseline runs keyed by the **full
+/// serialized workload spec** plus seed — two specs that share a display
+/// name but differ in parameters get distinct baselines.
+pub struct BaselineStore {
+    cfg: SimConfig,
+    cells: Mutex<HashMap<BaselineKey, Arc<OnceLock<RunResult>>>>,
+    computed: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl BaselineStore {
+    /// Creates an empty store; baselines run under `cfg` (with the seed
+    /// overridden per request).
+    pub fn new(cfg: SimConfig) -> Self {
+        BaselineStore {
+            cfg,
+            cells: Mutex::new(HashMap::new()),
+            computed: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the baseline run for `(spec, seed)`, simulating it on
+    /// first request and serving the memoized result afterwards.
+    ///
+    /// Concurrent first requests block on the in-flight simulation
+    /// (`OnceLock` semantics) — the simulation still runs exactly once.
+    pub fn get(&self, spec: &WorkloadSpec, seed: u64) -> RunResult {
+        // Key on the *full* spec encoding, not just the display name: two
+        // specs sharing a name but differing in parameters (e.g. a spec
+        // and its `scaled()` variant) must not share a baseline.
+        let key = serde_json::to_string(spec).expect("workload spec serializes");
+        let cell = {
+            let mut map = self.cells.lock().expect("baseline map poisoned");
+            Arc::clone(
+                map.entry((key, seed))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut ran_here = false;
+        let result = cell.get_or_init(|| {
+            ran_here = true;
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            let mut cfg = self.cfg;
+            cfg.seed = seed;
+            run_baseline(spec, &cfg)
+        });
+        if !ran_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Number of baseline simulations actually executed.
+    pub fn computed_runs(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served from the cache without simulating.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_trace::workloads;
+
+    #[test]
+    fn memoizes_and_returns_identical_results() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search();
+        let a = store.get(&spec, 42);
+        let b = store.get(&spec, 42);
+        assert_eq!(store.computed_runs(), 1, "second get must not re-simulate");
+        assert_eq!(store.cache_hits(), 1);
+        // Identical cached result, bit for bit.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn same_name_different_params_are_distinct_cells() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search();
+        let shrunk = spec.clone().scaled(4); // same display name, new params
+        store.get(&spec, 42);
+        store.get(&shrunk, 42);
+        assert_eq!(
+            store.computed_runs(),
+            2,
+            "differing specs must not share a baseline just because names match"
+        );
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_cells() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search();
+        let a = store.get(&spec, 1);
+        let b = store.get(&spec, 2);
+        assert_eq!(store.computed_runs(), 2);
+        assert_ne!(a.elapsed_ps, b.elapsed_ps);
+    }
+}

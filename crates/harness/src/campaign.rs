@@ -1,0 +1,306 @@
+//! Campaign execution: grid → worker pool → typed results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::Serialize;
+use unison_sim::{run_experiment, run_speedup_with_baseline, Design, RunResult, SimConfig};
+
+use crate::baseline::BaselineStore;
+use crate::grid::{Cell, ExperimentGrid};
+use crate::pool::{self, parallel_map};
+use crate::stats::geomean;
+
+/// One executed cell: the simulation outcome plus the seed it ran under
+/// and (for speedup campaigns) its speedup over the memoized NoCache
+/// baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Trace seed the cell ran with.
+    pub seed: u64,
+    /// Speedup over the NoCache baseline (`None` for plain campaigns).
+    pub speedup: Option<f64>,
+    /// The full simulation result.
+    pub run: RunResult,
+}
+
+impl CellResult {
+    /// Design display name.
+    pub fn design(&self) -> &str {
+        &self.run.design
+    }
+
+    /// Workload display name.
+    pub fn workload(&self) -> &str {
+        &self.run.workload
+    }
+
+    /// Nominal cache size in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        self.run.cache_bytes
+    }
+}
+
+/// All results of one campaign, in grid order.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignResult {
+    /// Executed cells, ordered exactly as [`ExperimentGrid::cells`]
+    /// enumerated them (independent of worker scheduling).
+    pub cells: Vec<CellResult>,
+    /// NoCache baseline simulations actually executed.
+    pub baseline_runs: usize,
+    /// Baseline requests served from the memo cache.
+    pub baseline_hits: usize,
+}
+
+impl CampaignResult {
+    /// The executed cells in grid order.
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// First cell matching `(workload, design name, cache size)`.
+    pub fn get(&self, workload: &str, design: &str, cache_bytes: u64) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.workload() == workload && c.design() == design && c.cache_bytes() == cache_bytes
+        })
+    }
+
+    /// Cell matching `(workload, design name, cache size, seed)`.
+    pub fn get_seeded(
+        &self,
+        workload: &str,
+        design: &str,
+        cache_bytes: u64,
+        seed: u64,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.workload() == workload
+                && c.design() == design
+                && c.cache_bytes() == cache_bytes
+                && c.seed == seed
+        })
+    }
+
+    /// Speedups of every cell matching `(design name, cache size)`, in
+    /// grid (workload) order.
+    pub fn speedups(&self, design: &str, cache_bytes: u64) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.design() == design && c.cache_bytes() == cache_bytes)
+            .filter_map(|c| c.speedup)
+            .collect()
+    }
+
+    /// Geometric-mean speedup across workloads for `(design, size)` —
+    /// the summary bar of Figures 7 and 8.
+    pub fn geomean_speedup(&self, design: &str, cache_bytes: u64) -> Option<f64> {
+        geomean(&self.speedups(design, cache_bytes))
+    }
+}
+
+/// Executes [`ExperimentGrid`]s on a worker pool under one [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    cfg: SimConfig,
+    threads: usize,
+    progress: bool,
+}
+
+impl Campaign {
+    /// Creates a campaign running under `cfg` with one worker per
+    /// available hardware thread.
+    pub fn new(cfg: SimConfig) -> Self {
+        Campaign {
+            cfg,
+            threads: pool::default_threads(),
+            progress: false,
+        }
+    }
+
+    /// Sets the worker-pool width. `1` reproduces the historical serial
+    /// behaviour exactly (inline execution, no pool).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-cell progress lines on stderr.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The simulation configuration cells run under.
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs every cell of `grid`; no baselines, `speedup` is `None`.
+    pub fn run(&self, grid: &ExperimentGrid) -> CampaignResult {
+        self.execute(grid, None)
+    }
+
+    /// Runs every cell of `grid` and computes each cell's speedup over
+    /// the NoCache baseline. Baselines are memoized: exactly one NoCache
+    /// simulation per `(workload, seed)` in the whole campaign, prefilled
+    /// in parallel before the design cells run.
+    pub fn run_speedups(&self, grid: &ExperimentGrid) -> CampaignResult {
+        let store = BaselineStore::new(self.cfg);
+        let keys = grid.baseline_keys(self.cfg.seed);
+        if self.progress {
+            eprintln!(
+                "[harness] prefilling {} baseline(s) on {} thread(s)",
+                keys.len(),
+                self.threads
+            );
+        }
+        parallel_map(&keys, self.threads, |(spec, seed)| {
+            store.get(spec, *seed);
+        });
+        self.execute(grid, Some(&store))
+    }
+
+    /// Generic order-preserving parallel map on this campaign's pool —
+    /// for experiments whose cells are not plain
+    /// (design, size, workload) simulations (custom policies, shadow
+    /// predictors).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        parallel_map(items, self.threads, f)
+    }
+
+    fn execute(&self, grid: &ExperimentGrid, store: Option<&BaselineStore>) -> CampaignResult {
+        let cells = grid.cells(self.cfg.seed);
+        let total = cells.len();
+        let done = AtomicUsize::new(0);
+        let results = parallel_map(&cells, self.threads, |cell| {
+            let r = self.run_cell(cell, store);
+            if self.progress {
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[harness {k}/{total}] {} @ {}MB on {} (seed {}) done",
+                    cell.design.name(),
+                    cell.cache_bytes >> 20,
+                    cell.workload.name,
+                    cell.seed
+                );
+            }
+            r
+        });
+        CampaignResult {
+            cells: results,
+            baseline_runs: store.map_or(0, BaselineStore::computed_runs),
+            baseline_hits: store.map_or(0, BaselineStore::cache_hits),
+        }
+    }
+
+    fn run_cell(&self, cell: &Cell, store: Option<&BaselineStore>) -> CellResult {
+        let mut cfg = self.cfg;
+        cfg.seed = cell.seed;
+        match store {
+            Some(store) => {
+                let base = store.get(&cell.workload, cell.seed);
+                if cell.design == Design::NoCache {
+                    // The baseline *is* this cell's run; reuse it. Key the
+                    // result by the cell's declared size so grid-coordinate
+                    // lookups stay uniform.
+                    let mut run = base;
+                    run.cache_bytes = cell.cache_bytes;
+                    CellResult {
+                        seed: cell.seed,
+                        speedup: Some(1.0),
+                        run,
+                    }
+                } else {
+                    let s = run_speedup_with_baseline(
+                        cell.design,
+                        cell.cache_bytes,
+                        &cell.workload,
+                        &cfg,
+                        &base,
+                    );
+                    CellResult {
+                        seed: cell.seed,
+                        speedup: Some(s.speedup),
+                        run: s.run,
+                    }
+                }
+            }
+            None => CellResult {
+                seed: cell.seed,
+                speedup: None,
+                run: run_experiment(cell.design, cell.cache_bytes, &cell.workload, &cfg),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_trace::workloads;
+
+    fn tiny_grid() -> ExperimentGrid {
+        ExperimentGrid::new()
+            .designs([Design::Unison, Design::Ideal])
+            .workloads([workloads::web_search(), workloads::data_serving()])
+            .sizes([256 << 20])
+    }
+
+    #[test]
+    fn plain_run_has_no_speedups() {
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run(&tiny_grid());
+        assert_eq!(r.cells.len(), 4);
+        assert!(r.cells.iter().all(|c| c.speedup.is_none()));
+        assert_eq!(r.baseline_runs, 0);
+    }
+
+    #[test]
+    fn speedup_run_memoizes_baselines() {
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(2)
+            .run_speedups(&tiny_grid());
+        assert_eq!(r.cells.len(), 4);
+        assert!(r.cells.iter().all(|c| c.speedup.is_some()));
+        // Two workloads, one seed: exactly two baseline simulations.
+        assert_eq!(r.baseline_runs, 2);
+        assert!(r.baseline_hits >= 4, "every cell reuses its baseline");
+    }
+
+    #[test]
+    fn lookup_helpers_find_cells() {
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run_speedups(&tiny_grid());
+        let c = r
+            .get("Web Search", "Unison", 256 << 20)
+            .expect("cell exists");
+        assert_eq!(c.workload(), "Web Search");
+        assert!(c.speedup.unwrap() > 0.0);
+        assert_eq!(r.speedups("Ideal", 256 << 20).len(), 2);
+        assert!(r.geomean_speedup("Ideal", 256 << 20).unwrap() > 1.0);
+        assert!(r.get("Web Search", "Alloy", 256 << 20).is_none());
+    }
+
+    #[test]
+    fn nocache_cells_reuse_the_baseline() {
+        let grid = ExperimentGrid::new()
+            .designs([Design::NoCache, Design::Ideal])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20]);
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run_speedups(&grid);
+        assert_eq!(r.baseline_runs, 1, "NoCache cell must not re-simulate");
+        let nc = r
+            .get("Web Search", "NoCache", 256 << 20)
+            .expect("baseline cell");
+        assert_eq!(nc.speedup, Some(1.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Declarative experiment grids.
+
+use unison_sim::Design;
+use unison_trace::WorkloadSpec;
+
+/// One experiment cell: a single `(design, cache size, workload, seed)`
+/// simulation.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cache design under test.
+    pub design: Design,
+    /// Nominal cache capacity in bytes (0 for NoCache).
+    pub cache_bytes: u64,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+    /// Trace seed for this cell.
+    pub seed: u64,
+}
+
+/// The declarative cross product `designs × sizes × workloads × seeds`,
+/// with optional per-workload size overrides (the paper sweeps CloudSuite
+/// at 128 MB–1 GB but TPC-H at 1–8 GB).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentGrid {
+    designs: Vec<Design>,
+    workloads: Vec<WorkloadSpec>,
+    sizes: Vec<u64>,
+    size_overrides: Vec<(String, Vec<u64>)>,
+    seeds: Vec<u64>,
+}
+
+impl ExperimentGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the designs axis.
+    pub fn designs(mut self, designs: impl IntoIterator<Item = Design>) -> Self {
+        self.designs = designs.into_iter().collect();
+        self
+    }
+
+    /// Sets the workloads axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Appends one workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Sets the shared cache-size axis.
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Overrides the size axis for one workload (by display name).
+    pub fn sizes_for(mut self, workload: &str, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.size_overrides
+            .push((workload.to_string(), sizes.into_iter().collect()));
+        self
+    }
+
+    /// Sets explicit trace seeds (default: the campaign config's seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The size axis effective for `workload`.
+    pub fn sizes_of(&self, workload: &str) -> &[u64] {
+        self.size_overrides
+            .iter()
+            .find(|(name, _)| name == workload)
+            .map(|(_, sizes)| sizes.as_slice())
+            .unwrap_or(&self.sizes)
+    }
+
+    /// The designs axis.
+    pub fn design_axis(&self) -> &[Design] {
+        &self.designs
+    }
+
+    /// The workloads axis.
+    pub fn workload_axis(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// Enumerates all cells in deterministic grid order:
+    /// workload (outermost) → seed → design → size. Grouping by workload
+    /// keeps cells that share a baseline adjacent in the work queue.
+    pub fn cells(&self, default_seed: u64) -> Vec<Cell> {
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            std::slice::from_ref(&default_seed)
+        } else {
+            &self.seeds
+        };
+        let mut cells = Vec::new();
+        for workload in &self.workloads {
+            let sizes = self.sizes_of(workload.name);
+            for &seed in seeds {
+                for &design in &self.designs {
+                    for &cache_bytes in sizes {
+                        cells.push(Cell {
+                            design,
+                            cache_bytes,
+                            workload: workload.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total number of cells the grid enumerates (without materializing
+    /// them): `designs × seeds × Σ_workload sizes`. Independent of the
+    /// campaign's default seed — an empty seed axis still means one seed.
+    pub fn len(&self) -> usize {
+        let seeds = if self.seeds.is_empty() {
+            1
+        } else {
+            self.seeds.len()
+        };
+        let size_points: usize = self
+            .workloads
+            .iter()
+            .map(|w| self.sizes_of(w.name).len())
+            .sum();
+        self.designs.len() * seeds * size_points
+    }
+
+    /// True when the grid enumerates no cells (any required axis —
+    /// designs, workloads, or every effective size list — is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unique `(workload, seed)` pairs — one baseline each.
+    pub fn baseline_keys(&self, default_seed: u64) -> Vec<(WorkloadSpec, u64)> {
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            std::slice::from_ref(&default_seed)
+        } else {
+            &self.seeds
+        };
+        let mut keys = Vec::new();
+        for workload in &self.workloads {
+            for &seed in seeds {
+                if !keys
+                    .iter()
+                    .any(|(w, s): &(WorkloadSpec, u64)| w == workload && *s == seed)
+                {
+                    keys.push((workload.clone(), seed));
+                }
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_trace::workloads;
+
+    #[test]
+    fn cross_product_order_is_deterministic() {
+        let grid = ExperimentGrid::new()
+            .designs([Design::Alloy, Design::Unison])
+            .workloads([workloads::web_search(), workloads::tpch()])
+            .sizes([1 << 20, 2 << 20]);
+        let cells = grid.cells(42);
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].workload.name, "Web Search");
+        assert_eq!(cells[0].design, Design::Alloy);
+        assert_eq!(cells[0].cache_bytes, 1 << 20);
+        assert_eq!(cells[1].cache_bytes, 2 << 20);
+        assert_eq!(cells[2].design, Design::Unison);
+        assert_eq!(cells[4].workload.name, "TPC-H");
+        assert!(cells.iter().all(|c| c.seed == 42));
+    }
+
+    #[test]
+    fn per_workload_size_override() {
+        let grid = ExperimentGrid::new()
+            .designs([Design::Unison])
+            .workloads([workloads::web_search(), workloads::tpch()])
+            .sizes([128 << 20])
+            .sizes_for("TPC-H", [1 << 30, 8u64 << 30]);
+        assert_eq!(grid.sizes_of("Web Search"), &[128 << 20]);
+        assert_eq!(grid.sizes_of("TPC-H"), &[1 << 30, 8 << 30]);
+        assert_eq!(grid.cells(1).len(), 3);
+    }
+
+    #[test]
+    fn len_and_is_empty_agree_with_cells() {
+        let no_sizes = ExperimentGrid::new()
+            .designs([Design::Unison])
+            .workloads([workloads::web_search()]);
+        assert!(no_sizes.is_empty());
+        assert_eq!(no_sizes.len(), no_sizes.cells(42).len());
+
+        let mixed = ExperimentGrid::new()
+            .designs([Design::Unison, Design::Alloy])
+            .workloads([workloads::web_search(), workloads::tpch()])
+            .sizes([1 << 20])
+            .sizes_for("TPC-H", [1u64 << 30, 2 << 30])
+            .seeds([1, 2, 3]);
+        assert!(!mixed.is_empty());
+        assert_eq!(mixed.len(), mixed.cells(42).len());
+        assert_eq!(mixed.len(), 2 * 3 * (1 + 2));
+    }
+
+    #[test]
+    fn explicit_seeds_multiply_cells() {
+        let grid = ExperimentGrid::new()
+            .designs([Design::Unison])
+            .workloads([workloads::web_search()])
+            .sizes([1 << 20])
+            .seeds([1, 2, 3]);
+        assert_eq!(grid.cells(42).len(), 3);
+        assert_eq!(grid.baseline_keys(42).len(), 3);
+    }
+
+    #[test]
+    fn baseline_keys_are_unique_per_workload_seed() {
+        let grid = ExperimentGrid::new()
+            .designs([
+                Design::Alloy,
+                Design::Footprint,
+                Design::Unison,
+                Design::Ideal,
+            ])
+            .workloads([workloads::web_search(), workloads::data_serving()])
+            .sizes([1 << 20, 2 << 20, 4 << 20, 8 << 20]);
+        assert_eq!(grid.cells(42).len(), 32);
+        assert_eq!(grid.baseline_keys(42).len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! The experiment-campaign engine: declarative grids of
+//! (design × size × workload × seed) cells executed by a thread pool with
+//! memoized baselines and structured result sinks.
+//!
+//! The paper's evaluation is a large grid of independent simulations.
+//! Every figure/table binary used to hand-roll a serial loop and
+//! re-simulate the NoCache baseline per speedup; this crate factors that
+//! into one engine:
+//!
+//! * [`ExperimentGrid`] — declare the axes (designs, cache sizes,
+//!   workloads, seeds), with per-workload size overrides for the
+//!   CloudSuite-vs-TPC-H split the paper uses throughout.
+//! * [`Campaign`] — execute the grid's cells on `N` worker threads
+//!   (`--threads 1` reproduces the historical serial behaviour exactly:
+//!   simulations are deterministic and results are returned in grid
+//!   order, so parallelism never changes output).
+//! * [`BaselineStore`] — NoCache baselines are computed **once** per
+//!   (workload, seed) and shared by every speedup in the campaign.
+//! * [`CampaignResult`] — typed result set with lookup helpers,
+//!   [`stats::geomean`] reductions, and JSON/CSV sinks ([`sink`]).
+//!
+//! # Example
+//!
+//! ```
+//! use unison_harness::{Campaign, ExperimentGrid};
+//! use unison_sim::{Design, SimConfig};
+//! use unison_trace::workloads;
+//!
+//! let grid = ExperimentGrid::new()
+//!     .designs([Design::Unison, Design::Ideal])
+//!     .workloads([workloads::web_search()])
+//!     .sizes([256 << 20]);
+//! let results = Campaign::new(SimConfig::quick_test())
+//!     .threads(2)
+//!     .run_speedups(&grid);
+//! assert_eq!(results.cells().len(), 2);
+//! assert_eq!(results.baseline_runs, 1); // one workload -> one baseline
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod campaign;
+mod grid;
+pub mod pool;
+pub mod sink;
+pub mod stats;
+
+pub use baseline::BaselineStore;
+pub use campaign::{Campaign, CampaignResult, CellResult};
+pub use grid::{Cell, ExperimentGrid};

@@ -1,0 +1,99 @@
+//! Order-preserving parallel map over a scoped worker pool.
+//!
+//! Plain `std::thread` + channels — no external dependencies. Workers
+//! claim item indices from an atomic counter (work stealing over a static
+//! grid) and send `(index, result)` pairs back; the caller reassembles
+//! results **in input order**, so output is independent of scheduling and
+//! a 1-thread pool is byte-identical to an N-thread pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The default pool width: one worker per available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, using up to `threads` workers, and returns
+/// the results in input order.
+///
+/// `threads <= 1` runs inline on the caller's thread with no pool at all
+/// (the historical serial behaviour). Panics in `f` propagate.
+pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let next_ref = &next;
+        let f_ref = &f;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&items[i]);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker pool completed every item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 4, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9e37).rotate_left(7));
+        let parallel = parallel_map(&items, 8, |&x| x.wrapping_mul(0x9e37).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u8, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x as u32), vec![1, 2, 3]);
+    }
+}

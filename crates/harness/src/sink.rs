@@ -1,0 +1,108 @@
+//! Structured result sinks: JSON and CSV renderings of a
+//! [`CampaignResult`](crate::CampaignResult).
+
+use std::path::Path;
+
+use crate::campaign::CampaignResult;
+
+/// CSV header row produced by [`to_csv`].
+pub const CSV_HEADER: &str = "workload,design,cache_bytes,seed,speedup,uipc,miss_ratio,\
+measured_accesses,instructions,elapsed_ps,offchip_bytes_per_ki,activations_per_ki";
+
+/// Renders the campaign as pretty JSON (full [`RunResult`]s plus
+/// baseline-memoization counters).
+///
+/// [`RunResult`]: unison_sim::RunResult
+pub fn to_json(results: &CampaignResult) -> String {
+    serde_json::to_string_pretty(results).expect("campaign results serialize")
+}
+
+/// Renders the campaign as a flat CSV of headline metrics, one row per
+/// cell, in grid order.
+pub fn to_csv(results: &CampaignResult) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for cell in results.cells() {
+        let r = &cell.run;
+        let speedup = cell.speedup.map(|s| format!("{s:.6}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{:.4}\n",
+            csv_field(&r.workload),
+            csv_field(&r.design),
+            r.cache_bytes,
+            cell.seed,
+            speedup,
+            r.uipc,
+            r.cache.miss_ratio(),
+            r.measured_accesses,
+            r.instructions,
+            r.elapsed_ps,
+            r.offchip_bytes_per_kilo_instr(),
+            r.activations_per_kilo_instr(),
+        ));
+    }
+    out
+}
+
+/// Writes [`to_json`] output to `path`.
+pub fn write_json(results: &CampaignResult, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(results))
+}
+
+/// Writes [`to_csv`] output to `path`.
+pub fn write_csv(results: &CampaignResult, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(results))
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Campaign, ExperimentGrid};
+    use unison_sim::{Design, SimConfig};
+    use unison_trace::workloads;
+
+    fn small_result() -> CampaignResult {
+        let grid = ExperimentGrid::new()
+            .designs([Design::Unison])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20]);
+        Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run_speedups(&grid)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let r = small_result();
+        let csv = to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 1 + r.cells().len());
+        assert!(lines[1].starts_with("Web Search,Unison,"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn json_contains_cells_and_counters() {
+        let r = small_result();
+        let json = to_json(&r);
+        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"baseline_runs\""));
+        assert!(json.contains("\"Unison\""));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

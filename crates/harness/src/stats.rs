@@ -1,0 +1,62 @@
+//! Scalar reductions shared by the figure/table renderers.
+
+/// Geometric mean of `vals`.
+///
+/// Returns `None` for an empty slice (there is no identity element worth
+/// printing) and `Some(v)` for a single element. Non-positive inputs
+/// would make the log-domain mean undefined; they return `None` rather
+/// than NaN so table code can render a placeholder.
+pub fn geomean(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() || vals.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = vals.iter().map(|v| v.ln()).sum();
+    Some((log_sum / vals.len() as f64).exp())
+}
+
+/// Arithmetic mean of `vals` (`None` for an empty slice).
+pub fn mean(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_empty_is_none() {
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_of_single_element_is_that_element() {
+        let g = geomean(&[1.37]).unwrap();
+        assert!((g - 1.37).abs() < 1e-12, "got {g}");
+    }
+
+    #[test]
+    fn geomean_matches_definition() {
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12, "got {g}");
+        let g3 = geomean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((g3 - 2.0).abs() < 1e-12, "got {g3}");
+    }
+
+    #[test]
+    fn geomean_rejects_non_positive_and_non_finite() {
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[1.0, f64::NAN]), None);
+        assert_eq!(geomean(&[1.0, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[3.0]), Some(3.0));
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+    }
+}

@@ -102,7 +102,9 @@ mod tests {
     #[test]
     fn filter_reduces_stream_and_preserves_instructions() {
         let n = 20_000;
-        let raw: Vec<_> = WorkloadGen::new(workloads::data_serving(), 11).take(n).collect();
+        let raw: Vec<_> = WorkloadGen::new(workloads::data_serving(), 11)
+            .take(n)
+            .collect();
         let total_instr: u64 = raw.iter().map(|r| u64::from(r.igap)).sum();
         let mut filter = HierarchyFilter::new(16, raw.into_iter());
         let out: Vec<_> = (&mut filter).collect();

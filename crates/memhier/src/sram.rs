@@ -189,7 +189,9 @@ impl Hierarchy {
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
         Hierarchy {
-            l1: (0..cores).map(|_| SramCache::new(SramConfig::l1d())).collect(),
+            l1: (0..cores)
+                .map(|_| SramCache::new(SramConfig::l1d()))
+                .collect(),
             l2: SramCache::new(SramConfig::l2()),
         }
     }

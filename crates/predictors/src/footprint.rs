@@ -27,7 +27,7 @@ impl Footprint {
     ///
     /// Panics if `blocks` is 0 or greater than 64.
     pub fn empty(blocks: u32) -> Self {
-        assert!(blocks >= 1 && blocks <= 64, "page must hold 1..=64 blocks");
+        assert!((1..=64).contains(&blocks), "page must hold 1..=64 blocks");
         Footprint {
             mask: 0,
             blocks: blocks as u8,
@@ -296,17 +296,14 @@ impl FootprintTable {
                 w
             }
             None => {
-                let w = set
-                    .iter()
-                    .position(Option::is_none)
-                    .unwrap_or_else(|| {
-                        // Evict the LRU (highest counter) way.
-                        set.iter()
-                            .enumerate()
-                            .max_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(u8::MAX))
-                            .map(|(w, _)| w)
-                            .unwrap_or(0)
-                    });
+                let w = set.iter().position(Option::is_none).unwrap_or_else(|| {
+                    // Evict the LRU (highest counter) way.
+                    set.iter()
+                        .enumerate()
+                        .max_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(u8::MAX))
+                        .map(|(w, _)| w)
+                        .unwrap_or(0)
+                });
                 // Fresh entry: observed blocks start at counter 2.
                 set[w] = Some(FtEntry {
                     tag,
@@ -363,7 +360,10 @@ impl SingletonTable {
     ///
     /// Panics if `capacity` is not a power of two.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         SingletonTable {
             entries: vec![None; capacity],
         }
@@ -402,7 +402,10 @@ impl SingletonTable {
     /// Removes a bypassed page (after correction or promotion).
     pub fn remove(&mut self, page: u64) {
         let idx = self.index(page);
-        if self.entries[idx].map(|(e, _)| e.page == page).unwrap_or(false) {
+        if self.entries[idx]
+            .map(|(e, _)| e.page == page)
+            .unwrap_or(false)
+        {
             self.entries[idx] = None;
         }
     }

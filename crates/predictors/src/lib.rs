@@ -34,6 +34,6 @@ mod util;
 mod way;
 
 pub use footprint::{Footprint, FootprintTable, SingletonEntry, SingletonTable};
-pub use miss::{MissPredictor, MissPrediction};
+pub use miss::{MissPrediction, MissPredictor};
 pub use util::{fold_hash, mix64, SatCounter};
 pub use way::WayPredictor;

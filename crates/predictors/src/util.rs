@@ -59,7 +59,10 @@ impl SatCounter {
         assert!(bits > 0 && bits <= 8, "counter width must be 1..=8 bits");
         let max = ((1u16 << bits) - 1) as u8;
         assert!(initial <= max, "initial value {initial} exceeds max {max}");
-        SatCounter { value: initial, max }
+        SatCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// Current value.
@@ -114,7 +117,10 @@ mod tests {
         let a = mix64(1);
         let b = mix64(2);
         assert_ne!(a ^ b, 0);
-        assert!((a ^ b).count_ones() > 8, "consecutive mixes should differ widely");
+        assert!(
+            (a ^ b).count_ones() > 8,
+            "consecutive mixes should differ widely"
+        );
     }
 
     #[test]

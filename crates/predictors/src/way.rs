@@ -41,7 +41,10 @@ impl WayPredictor {
     /// `index_bits` is outside `1..=24`.
     pub fn new(index_bits: u32, ways: u32) -> Self {
         assert!((1..=24).contains(&index_bits), "index bits must be 1..=24");
-        assert!((1..=4).contains(&ways), "2-bit entries support up to 4 ways");
+        assert!(
+            (1..=4).contains(&ways),
+            "2-bit entries support up to 4 ways"
+        );
         WayPredictor {
             entries: vec![0; 1 << index_bits],
             index_bits,
@@ -133,7 +136,8 @@ mod tests {
 
     #[test]
     fn aliasing_pages_fight_over_an_entry() {
-        let mut wp = WayPredictor::new(4, 4); // tiny: heavy aliasing
+        // tiny table: heavy aliasing
+        let mut wp = WayPredictor::new(4, 4);
         // Two pages that fold to the same index: 0x0001 and 0x0010 fold
         // to different entries, so find an aliasing pair by construction:
         // with 4 index bits, page and page + 16 XOR-fold differently, but

@@ -40,13 +40,13 @@ proptest! {
             t.train(pc, off, fp);
             let first_training = seen.insert((pc, off));
             let counters = model.entry((pc, off)).or_insert([0; 15]);
-            for b in 0..15 {
+            for (b, counter) in counters.iter_mut().enumerate() {
                 let present = fp.contains(b as u32);
-                counters[b] = match (first_training, present) {
+                *counter = match (first_training, present) {
                     (true, true) => 2,
                     (true, false) => 0,
-                    (false, true) => (counters[b] + 1).min(3),
-                    (false, false) => counters[b].saturating_sub(1),
+                    (false, true) => (*counter + 1).min(3),
+                    (false, false) => counter.saturating_sub(1),
                 };
             }
         }

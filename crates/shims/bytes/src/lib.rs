@@ -1,0 +1,176 @@
+//! Local stand-in for the subset of the `bytes` crate this workspace
+//! uses: `Bytes` / `BytesMut` buffers and the little-endian `Buf` /
+//! `BufMut` accessors the trace codec reads and writes with.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (cheap to clone in the real crate; here a
+/// plain `Vec`, which is fine for artifact-sized traces).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the buffer into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Sequential little-endian reads from a byte source.
+///
+/// # Panics
+///
+/// Like the real crate, the `get_*`/`advance` methods panic when the
+/// buffer has insufficient remaining bytes; callers bounds-check first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        for slot in &mut b {
+            *slot = self.get_u8();
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        for slot in &mut b {
+            *slot = self.get_u8();
+        }
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+}
+
+/// Sequential little-endian writes to a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"HDR");
+        b.put_u8(7);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(0x0123_4567_89ab_cdef);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 3 + 1 + 4 + 8);
+        r.advance(3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn to_vec_matches_contents() {
+        let mut b = BytesMut::default();
+        b.put_u8(1);
+        b.put_u8(2);
+        assert_eq!(b.freeze().to_vec(), vec![1, 2]);
+    }
+}

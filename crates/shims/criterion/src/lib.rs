@@ -1,0 +1,151 @@
+//! Local stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Supports `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Throughput`, and `Bencher::iter`. Timing is a simple best-of-samples
+//! wall-clock measurement printed per benchmark — enough to compare hot
+//! paths between commits without a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark driver handed to `iter` closures.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best (lowest-overhead) sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~5 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch = (5_000_000 / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// Top-level benchmark registry (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        let ns = run_one(&full, f);
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if ns > 0.0 {
+                let rate = n as f64 * 1e9 / ns;
+                println!("    {full}: {rate:.0} elem/s");
+            }
+        }
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) -> f64 {
+    let mut b = Bencher {
+        best_ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    println!("bench {name}: {:.1} ns/iter", b.best_ns_per_iter);
+    b.best_ns_per_iter
+}
+
+/// Declares a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

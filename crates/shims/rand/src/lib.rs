@@ -1,0 +1,294 @@
+//! Local stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so this shim
+//! provides the `Rng` / `SeedableRng` traits and the `SmallRng` / `StdRng`
+//! generators with the same API surface the real crate exposes. Both
+//! generators are xoshiro256++ seeded through SplitMix64: high-quality,
+//! fast, and fully deterministic for a given seed. Streams differ from the
+//! real `rand` crate's, which is fine — everything downstream only relies
+//! on determinism, not on a specific stream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, uniform integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface: construct a generator from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Widens to `u64` for uniform arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows back from `u64` (value guaranteed in range by the caller).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling (Lemire); the tiny bias at 2^64
+    // scale is irrelevant for workload synthesis.
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "cannot sample from empty range");
+        T::from_u64(lo + uniform_below(rng, hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "cannot sample from empty range");
+        // Wrapping: `0..=u64::MAX` has span 2^64, which wraps to 0 and
+        // selects the full-domain branch (a plain `+ 1` would overflow
+        // in debug builds before ever reaching it).
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 domain.
+            T::from_u64(rng.next_u64())
+        } else {
+            T::from_u64(lo + uniform_below(rng, span))
+        }
+    }
+}
+
+// `f64` deliberately does not implement `SampleUniform`; float ranges get
+// their own impl so they don't collide with the integer blanket above.
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f64 = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256++ core shared by both named generators.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Xoshiro256 { s }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// A small, fast deterministic generator (stands in for
+    /// `rand::rngs::SmallRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng(Xoshiro256::seed_from_u64(state))
+        }
+    }
+
+    /// The "standard" generator (stands in for `rand::rngs::StdRng`);
+    /// same algorithm as [`SmallRng`] on a decorrelated stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng(Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256::seed_from_u64(state ^ 0xa076_1d64_78bd_642f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = r.gen_range(0u64..17);
+            assert!(a < 17);
+            let b = r.gen_range(5u8..=9);
+            assert!((5..=9).contains(&b));
+            let c = r.gen_range(0.0f64..2.0);
+            assert!((0.0..2.0).contains(&c));
+            let d = r.gen_range(1..=3usize);
+            assert!((1..=3).contains(&d));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let _: u64 = r.gen_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

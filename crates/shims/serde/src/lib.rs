@@ -1,0 +1,206 @@
+//! Local stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so this shim
+//! provides a value-tree [`Serialize`] trait, a marker [`Deserialize`]
+//! trait, and re-exports the matching derive macros. The companion
+//! `serde_json` shim renders [`Value`] trees as JSON. The derive syntax
+//! (`#[derive(Serialize, Deserialize)]`) and trait paths match the real
+//! crate, so swapping the real serde back in is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+// The derive macros emit `::serde::...` paths; alias this crate under its
+// public name so they also resolve inside the crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the shim's equivalent of `serde_json::Value`,
+/// hoisted here so `Serialize` can be defined without a json dependency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values render as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait paired with the `Deserialize` derive. The shim does not
+/// implement deserialization (nothing in-tree reads serialized data back);
+/// deriving it keeps type definitions source-compatible with real serde.
+pub trait Deserialize {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        x: u64,
+        label: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Tuple(u32),
+        Named { a: u8, b: bool },
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        let p = Point {
+            x: 3,
+            label: "hi".into(),
+        };
+        match p.to_value() {
+            Value::Obj(fields) => {
+                assert_eq!(fields[0], ("x".into(), Value::U64(3)));
+                assert_eq!(fields[1], ("label".into(), Value::Str("hi".into())));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_enum_variants() {
+        assert_eq!(Shape::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Shape::Tuple(9).to_value(),
+            Value::Obj(vec![("Tuple".into(), Value::U64(9))])
+        );
+        match (Shape::Named { a: 1, b: true }).to_value() {
+            Value::Obj(entries) => {
+                assert_eq!(entries[0].0, "Named");
+                assert!(matches!(entries[0].1, Value::Obj(_)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(
+            v.to_value(),
+            Value::Arr(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        assert_eq!("s".to_value(), Value::Str("s".into()));
+    }
+}

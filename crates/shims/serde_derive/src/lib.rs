@@ -1,0 +1,254 @@
+//! Derive macros for the local `serde` shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available without a
+//! registry): supports non-generic structs with named fields, tuple
+//! structs, unit structs, and enums with unit / tuple / struct variants —
+//! the full shape set this workspace serializes. `#[serde(...)]`
+//! attributes are not supported (none are used in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the shim's `serde::Serialize` (`to_value`) for a type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives the shim's (marker) `serde::Deserialize` for a type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a field-list token stream at top-level commas, tracking angle-
+/// bracket depth so `Foo<A, B>` doesn't split. Returns the segments as
+/// token vectors (empty trailing segment dropped).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().expect("segments never empty").push(t);
+    }
+    if segments.last().map(Vec::is_empty).unwrap_or(false) {
+        segments.pop();
+    }
+    segments
+}
+
+/// Extracts the field name from one named-field segment
+/// (`[attrs] [pub] name : Type`).
+fn field_name(segment: &[TokenTree]) -> String {
+    let mut i = 0;
+    skip_attrs_and_vis(segment, &mut i);
+    ident_of(&segment[i]).unwrap_or_else(|| panic!("expected field name in {segment:?}"))
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("expected struct/enum keyword");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected type name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde shim derive does not support generic type {name}"
+        );
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(g.stream())
+                    .iter()
+                    .map(|seg| field_name(seg))
+                    .collect();
+                Kind::NamedStruct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_top_level(g.stream()).len())
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("expected enum body for {name}");
+            };
+            let mut variants = Vec::new();
+            for seg in split_top_level(g.stream()) {
+                let mut j = 0;
+                skip_attrs_and_vis(&seg, &mut j);
+                let vname = ident_of(&seg[j]).expect("expected variant name");
+                j += 1;
+                let fields = match seg.get(j) {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        VariantFields::Named(
+                            split_top_level(vg.stream())
+                                .iter()
+                                .map(|s| field_name(s))
+                                .collect(),
+                        )
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        VariantFields::Tuple(split_top_level(vg.stream()).len())
+                    }
+                    _ => VariantFields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Kind::Enum(variants)
+        }
+        other => panic!("cannot derive Serialize for {other} item"),
+    };
+    Item { name, kind }
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let ty = &item.name;
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::Value::Obj(::std::vec![{}]),",
+                            obj_entry(vn, "::serde::Serialize::to_value(f0)")
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({}) => ::serde::Value::Obj(::std::vec![{}]),",
+                                binds.join(", "),
+                                obj_entry(
+                                    vn,
+                                    &format!("::serde::Value::Arr(::std::vec![{}])", vals.join(", "))
+                                )
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {} }} => ::serde::Value::Obj(::std::vec![{}]),",
+                                fields.join(", "),
+                                obj_entry(
+                                    vn,
+                                    &format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+                                )
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {}\n    }}\n}}",
+        item.name, body
+    )
+}

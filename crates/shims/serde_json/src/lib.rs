@@ -1,0 +1,150 @@
+//! Local stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the shim `serde::Serialize`.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The shim renderer is total, so this is never
+/// actually produced; it exists to keep call sites (`?`, `.expect(..)`)
+/// source-compatible with real serde_json.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{}` prints integral floats without a fraction ("1"),
+                // which is still valid JSON, exactly like real serde_json
+                // prints `1.0` — close enough for machine consumption.
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            if !items.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            if !entries.is_empty() {
+                newline_indent(indent, depth, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = Value::Obj(vec![
+            ("design".into(), Value::Str("Test".into())),
+            ("n".into(), Value::U64(3)),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"design":"Test","n":3}"#);
+    }
+
+    #[test]
+    fn pretty_array() {
+        let v = Value::Arr(vec![Value::U64(1), Value::U64(2)]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\n".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Value::Arr(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Obj(vec![])).unwrap(), "{}");
+    }
+}

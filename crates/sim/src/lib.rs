@@ -40,5 +40,8 @@ mod system;
 
 pub use core_model::CoreParams;
 pub use metrics::RunResult;
-pub use runner::{run_experiment, run_speedup, Design, SimConfig, SpeedupResult};
+pub use runner::{
+    run_baseline, run_experiment, run_speedup, run_speedup_with_baseline, Design, SimConfig,
+    SpeedupResult,
+};
 pub use system::System;

@@ -44,6 +44,30 @@ impl Design {
         }
     }
 
+    /// Parses a design from a user-facing name (CLI spelling). Accepts
+    /// the display names of [`Design::name`] case-insensitively plus the
+    /// shorthands `unison-<N>way` and `unison1984`.
+    pub fn from_name(name: &str) -> Option<Design> {
+        let lower = name.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "alloy" => Some(Design::Alloy),
+            "footprint" => Some(Design::Footprint),
+            "unison" => Some(Design::Unison),
+            "unison1984" | "unison-1984" | "unison-1984b" => Some(Design::Unison1984),
+            "ideal" => Some(Design::Ideal),
+            "nocache" | "no-cache" | "none" => Some(Design::NoCache),
+            _ => {
+                let ways = lower.strip_prefix("unison-")?.strip_suffix("way")?;
+                // 0 ways would assert deep inside UnisonCache::new; reject
+                // it here so CLIs report a clean unknown-design error.
+                ways.parse()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .map(Design::UnisonAssoc)
+            }
+        }
+    }
+
     /// Instantiates the design at `cache_bytes`.
     pub fn build(&self, cache_bytes: u64) -> Box<dyn DramCacheModel> {
         self.build_scaled(cache_bytes, cache_bytes)
@@ -204,20 +228,50 @@ pub struct SpeedupResult {
     pub speedup: f64,
 }
 
+/// Runs the NoCache baseline for `(spec, cfg)` — the denominator of
+/// every speedup. A baseline depends only on the workload, seed, and
+/// simulation scale, so campaigns should run this **once** per
+/// `(workload, seed)` and share it (see `unison_harness::BaselineStore`);
+/// this function is the single place the baseline is defined.
+pub fn run_baseline(spec: &WorkloadSpec, cfg: &SimConfig) -> RunResult {
+    run_experiment(Design::NoCache, 0, spec, cfg)
+}
+
+/// Runs `design` and computes its speedup against a **precomputed**
+/// baseline (from [`run_baseline`], typically memoized by the harness's
+/// baseline store). Sweeping N designs against one baseline costs N
+/// simulations, not 2N.
+pub fn run_speedup_with_baseline(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    baseline: &RunResult,
+) -> SpeedupResult {
+    let run = run_experiment(design, cache_bytes, spec, cfg);
+    SpeedupResult {
+        speedup: run.uipc / baseline.uipc,
+        run,
+    }
+}
+
 /// Runs `design` and the no-cache baseline under identical conditions
 /// and returns the speedup.
+///
+/// Convenience for one-off comparisons: each call re-simulates the
+/// baseline. Sweeps over multiple designs or sizes should compute the
+/// baseline once with [`run_baseline`] and use
+/// [`run_speedup_with_baseline`] (or drive the whole grid through
+/// `unison_harness::Campaign::run_speedups`, which memoizes baselines
+/// across the campaign).
 pub fn run_speedup(
     design: Design,
     cache_bytes: u64,
     spec: &WorkloadSpec,
     cfg: &SimConfig,
 ) -> SpeedupResult {
-    let run = run_experiment(design, cache_bytes, spec, cfg);
-    let base = run_experiment(Design::NoCache, 0, spec, cfg);
-    SpeedupResult {
-        speedup: run.uipc / base.uipc,
-        run,
-    }
+    let base = run_baseline(spec, cfg);
+    run_speedup_with_baseline(design, cache_bytes, spec, cfg, &base)
 }
 
 #[cfg(test)]
@@ -229,6 +283,34 @@ mod tests {
     fn design_names_are_stable() {
         assert_eq!(Design::Unison.name(), "Unison");
         assert_eq!(Design::UnisonAssoc(32).name(), "Unison-32way");
+    }
+
+    #[test]
+    fn design_names_round_trip_through_from_name() {
+        for d in [
+            Design::Alloy,
+            Design::Footprint,
+            Design::Unison,
+            Design::Unison1984,
+            Design::UnisonAssoc(32),
+            Design::Ideal,
+            Design::NoCache,
+        ] {
+            assert_eq!(Design::from_name(&d.name()), Some(d), "{}", d.name());
+        }
+        assert_eq!(Design::from_name("UNISON"), Some(Design::Unison));
+        assert_eq!(Design::from_name("bogus"), None);
+        assert_eq!(Design::from_name("unison-0way"), None, "0 ways is invalid");
+    }
+
+    #[test]
+    fn precomputed_baseline_gives_same_speedup() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::data_serving();
+        let base = run_baseline(&w, &cfg);
+        let with = run_speedup_with_baseline(Design::Ideal, 1 << 30, &w, &cfg, &base);
+        let without = run_speedup(Design::Ideal, 1 << 30, &w, &cfg);
+        assert!((with.speedup - without.speedup).abs() < 1e-12);
     }
 
     #[test]

@@ -144,8 +144,7 @@ impl<C: DramCacheModel> System<C> {
 
             refill(trace, &mut bufs, c, &mut exhausted);
             if let Some(r) = bufs[c].front() {
-                let next_issue =
-                    self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
+                let next_issue = self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
                 heap.push(Reverse((next_issue, c)));
             }
         }
@@ -189,7 +188,9 @@ mod tests {
             MemPorts::paper_default(),
             CoreParams::default(),
         );
-        let recs: Vec<_> = WorkloadGen::new(workloads::web_search(), 2).take(500).collect();
+        let recs: Vec<_> = WorkloadGen::new(workloads::web_search(), 2)
+            .take(500)
+            .collect();
         let mut iter = recs.into_iter();
         let n = sys.run(&mut iter, 1_000_000);
         assert_eq!(n, 500);
@@ -212,8 +213,7 @@ mod tests {
                 let p = sys.progress();
                 p.instructions as f64 / p.elapsed_ps as f64
             } else {
-                let mut sys =
-                    System::new(16, NoCache::new(), MemPorts::paper_default(), params);
+                let mut sys = System::new(16, NoCache::new(), MemPorts::paper_default(), params);
                 sys.run(&mut trace, 30_000);
                 let p = sys.progress();
                 p.instructions as f64 / p.elapsed_ps as f64

@@ -90,7 +90,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     buf.advance(4); // reserved
-    if buf.len() % RECORD_BYTES != 0 {
+    if !buf.len().is_multiple_of(RECORD_BYTES) {
         return Err(DecodeError::Truncated);
     }
     let mut out = Vec::with_capacity(buf.len() / RECORD_BYTES);
@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn roundtrip_generated_trace() {
-        let recs: Vec<_> = WorkloadGen::new(workloads::web_serving(), 77).take(10_000).collect();
+        let recs: Vec<_> = WorkloadGen::new(workloads::web_serving(), 77)
+            .take(10_000)
+            .collect();
         let encoded = encode(&recs);
         let decoded = decode(&encoded).expect("roundtrip");
         assert_eq!(decoded, recs);

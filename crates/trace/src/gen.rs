@@ -70,7 +70,9 @@ impl WorkloadGen {
         }
         let mut lib_rng = SmallRng::seed_from_u64(seed ^ 0xfeed_f00d_dead_beef);
         let functions: Vec<FunctionProfile> = (0..spec.n_functions)
-            .map(|i| FunctionProfile::generate(i, &spec.profile_mix, spec.offset_entropy, &mut lib_rng))
+            .map(|i| {
+                FunctionProfile::generate(i, &spec.profile_mix, spec.offset_entropy, &mut lib_rng)
+            })
             .collect();
         let region_count = spec.region_count();
         let perm_mult = coprime_near(region_count, (region_count as f64 * 0.618) as u64);
@@ -111,7 +113,9 @@ impl WorkloadGen {
     /// ranks sharing a region) are harmless popularity jitter.
     fn place_region(&self, index: u64) -> u64 {
         let n = self.spec.region_count();
-        let x = (index % n).wrapping_mul(self.perm_mult).wrapping_add(self.perm_add);
+        let x = (index % n)
+            .wrapping_mul(self.perm_mult)
+            .wrapping_add(self.perm_add);
         // SplitMix64 finalizer.
         let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -232,7 +236,11 @@ impl WorkloadGen {
         let addr = visit.region * REGION_BYTES + u64::from(block) * crate::record::BLOCK_BYTES;
         let rec = TraceRecord {
             core: core as u8,
-            kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+            kind: if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             pc: visit.pc,
             addr,
             igap: igap.max(1),
@@ -287,7 +295,7 @@ fn coprime_near(n: u64, start: u64) -> u64 {
     }
     let mut c = start.max(1) | 1; // odd candidates first
     loop {
-        if gcd(c % n, n) == 1 && c % n != 0 {
+        if gcd(c % n, n) == 1 && !c.is_multiple_of(n) {
             return c % n;
         }
         c += 2;
@@ -324,8 +332,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<_> = WorkloadGen::new(workloads::web_search(), 1).take(100).collect();
-        let b: Vec<_> = WorkloadGen::new(workloads::web_search(), 2).take(100).collect();
+        let a: Vec<_> = WorkloadGen::new(workloads::web_search(), 1)
+            .take(100)
+            .collect();
+        let b: Vec<_> = WorkloadGen::new(workloads::web_search(), 2)
+            .take(100)
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -389,9 +401,15 @@ mod tests {
         let spec = workloads::tpch();
         let want = f64::from(spec.mean_igap);
         let n = 100_000;
-        let sum: u64 = WorkloadGen::new(spec, 8).take(n).map(|r| u64::from(r.igap)).sum();
+        let sum: u64 = WorkloadGen::new(spec, 8)
+            .take(n)
+            .map(|r| u64::from(r.igap))
+            .sum();
         let got = sum as f64 / n as f64;
-        assert!((got - want).abs() / want < 0.05, "igap mean {got} vs {want}");
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "igap mean {got} vs {want}"
+        );
     }
 
     #[test]

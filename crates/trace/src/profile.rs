@@ -131,7 +131,13 @@ impl ProfileMix {
     ///
     /// Panics if all weights are zero or any weight is negative.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PatternClass {
-        let weights = [self.dense, self.run, self.strided, self.sparse, self.singleton];
+        let weights = [
+            self.dense,
+            self.run,
+            self.strided,
+            self.sparse,
+            self.singleton,
+        ];
         assert!(
             weights.iter().all(|w| *w >= 0.0),
             "profile weights must be non-negative"
@@ -185,7 +191,12 @@ pub struct FunctionProfile {
 
 impl FunctionProfile {
     /// Generates function `index` of a library.
-    pub fn generate<R: Rng + ?Sized>(index: usize, mix: &ProfileMix, offset_entropy: u32, rng: &mut R) -> Self {
+    pub fn generate<R: Rng + ?Sized>(
+        index: usize,
+        mix: &ProfileMix,
+        offset_entropy: u32,
+        rng: &mut R,
+    ) -> Self {
         let class = mix.sample(rng);
         let base_mask = class.to_mask(index as u64 + 1);
         let n_offsets = offset_entropy.max(1);
@@ -247,7 +258,11 @@ mod tests {
 
     #[test]
     fn strided_mask_spaces_bits() {
-        let m = PatternClass::Strided { stride: 4, count: 4 }.to_mask(0);
+        let m = PatternClass::Strided {
+            stride: 4,
+            count: 4,
+        }
+        .to_mask(0);
         assert_eq!(m, 0b1_0001_0001_0001);
     }
 
@@ -325,7 +340,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         for i in 0..50 {
             let f = FunctionProfile::generate(i, &mix, 4, &mut rng);
-            assert!(f.offsets.iter().all(|&o| o < 4), "scan offsets {:?}", f.offsets);
+            assert!(
+                f.offsets.iter().all(|&o| o < 4),
+                "scan offsets {:?}",
+                f.offsets
+            );
         }
     }
 

@@ -79,7 +79,8 @@ impl WorkloadSpec {
     #[must_use]
     pub fn scaled(mut self, factor: u64) -> Self {
         assert!(factor > 0, "scale factor must be positive");
-        self.mem_footprint_bytes = (self.mem_footprint_bytes / factor).max(crate::profile::REGION_BYTES * 64);
+        self.mem_footprint_bytes =
+            (self.mem_footprint_bytes / factor).max(crate::profile::REGION_BYTES * 64);
         self
     }
 

@@ -56,8 +56,14 @@ pub fn analyze<I: IntoIterator<Item = TraceRecord>>(records: I) -> TraceStats {
         e.1 += 1;
     }
     let unique_regions = region_touch.len() as u64;
-    let unique_blocks: u64 = region_touch.values().map(|(m, _)| u64::from(m.count_ones())).sum();
-    let singletons = region_touch.values().filter(|(m, _)| m.count_ones() == 1).count() as u64;
+    let unique_blocks: u64 = region_touch
+        .values()
+        .map(|(m, _)| u64::from(m.count_ones()))
+        .sum();
+    let singletons = region_touch
+        .values()
+        .filter(|(m, _)| m.count_ones() == 1)
+        .count() as u64;
 
     let mut access_counts: Vec<u64> = region_touch.values().map(|(_, c)| *c).collect();
     access_counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -69,7 +75,11 @@ pub fn analyze<I: IntoIterator<Item = TraceRecord>>(records: I) -> TraceStats {
         unique_blocks,
         unique_regions,
         write_fraction: if n > 0 { writes as f64 / n as f64 } else { 0.0 },
-        mean_igap: if n > 0 { igap_sum as f64 / n as f64 } else { 0.0 },
+        mean_igap: if n > 0 {
+            igap_sum as f64 / n as f64
+        } else {
+            0.0
+        },
         blocks_per_region: if unique_regions > 0 {
             unique_blocks as f64 / unique_regions as f64
         } else {

@@ -211,7 +211,9 @@ pub fn cloudsuite() -> Vec<WorkloadSpec> {
 
 /// Looks a workload up by its display name (case-insensitive).
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-    all().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

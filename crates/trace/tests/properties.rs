@@ -14,7 +14,11 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
     )
         .prop_map(|(core, w, pc, addr, igap)| TraceRecord {
             core,
-            kind: if w { AccessKind::Write } else { AccessKind::Read },
+            kind: if w {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             pc,
             addr,
             igap,

@@ -24,7 +24,15 @@ fn main() {
     println!("capacity plan for {} (scale 1/{})\n", spec.name, cfg.scale);
     println!(
         "{:>6} | {:>9} {:>10} | {:>9} {:>10} {:>11} | {:>9} {:>10} {:>10}",
-        "size", "AC miss%", "AC spdup", "FC miss%", "FC spdup", "FC SRAM", "UC miss%", "UC spdup", "UC tags"
+        "size",
+        "AC miss%",
+        "AC spdup",
+        "FC miss%",
+        "FC spdup",
+        "FC SRAM",
+        "UC miss%",
+        "UC spdup",
+        "UC tags"
     );
     let base = run_experiment(Design::NoCache, 0, &spec, &cfg);
     let uc_layout = UnisonRowLayout::new(15, 4);
@@ -47,9 +55,7 @@ fn main() {
             uc_layout.in_dram_tag_bytes(size) >> 20,
         );
     }
-    println!(
-        "\n*  FC's SRAM tag array (on-chip!): infeasible beyond ~3MB — the paper's point."
-    );
+    println!("\n*  FC's SRAM tag array (on-chip!): infeasible beyond ~3MB — the paper's point.");
     println!(
         "   UC tags live in the stacked DRAM itself; AC tags cost {}MB of DRAM at 8GB (12.5%).",
         ac_layout.in_dram_tag_bytes(8 << 30) >> 20

@@ -17,10 +17,7 @@ use unison_repro::trace::workloads;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workload_name = args.first().map(String::as_str).unwrap_or("Data Serving");
-    let cache_mb: u64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let cache_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
 
     let Some(spec) = workloads::by_name(workload_name) else {
         eprintln!("unknown workload {workload_name:?}; try one of:");

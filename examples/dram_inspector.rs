@@ -35,7 +35,11 @@ fn main() {
 
     println!("-- way misprediction recovery: the row is already open --");
     let fix = d.access(data.last_data_ps, Op::Read, RowCol::new(0, 192), 64);
-    show("64B data read, correct way (row hit)", data.last_data_ps, fix);
+    show(
+        "64B data read, correct way (row hit)",
+        data.last_data_ps,
+        fix,
+    );
     println!();
 
     println!("-- row conflict: the expensive case --");
@@ -52,7 +56,11 @@ fn main() {
     let b = off.access(a.last_data_ps, Op::Read, RowCol::new(0, 64), 64);
     show("64B read (row-buffer hit)", a.last_data_ps, b);
     let burst = off.access(b.last_data_ps, Op::Read, RowCol::new(0, 128), 960);
-    show("960B footprint read (one row activation!)", b.last_data_ps, burst);
+    show(
+        "960B footprint read (one row activation!)",
+        b.last_data_ps,
+        burst,
+    );
     println!(
         "\n>> a whole footprint streams out of ONE off-chip row activation — the\n>> energy argument of the paper's Section V.D"
     );

@@ -44,7 +44,10 @@ fn main() {
     let stats = system.cache().stats();
     println!("\nDRAM cache saw {} requests:", stats.accesses);
     println!("  miss ratio:          {:5.1}%", stats.miss_ratio() * 100.0);
-    println!("  footprint accuracy:  {:5.1}%", stats.fp_accuracy() * 100.0);
+    println!(
+        "  footprint accuracy:  {:5.1}%",
+        stats.fp_accuracy() * 100.0
+    );
     println!("\nThe on-chip levels absorb the temporal reuse; what reaches the DRAM cache");
     println!("is spatially correlated but temporally cold — footprints, not hot blocks.");
 }

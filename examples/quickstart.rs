@@ -44,9 +44,18 @@ fn main() {
     println!("  trigger misses:      {:>9}", stats.trigger_misses);
     println!("  underpredictions:    {:>9}", stats.underprediction_misses);
     println!("  singleton bypasses:  {:>9}", stats.singleton_bypasses);
-    println!("footprint accuracy:    {:5.1}%", stats.fp_accuracy() * 100.0);
-    println!("footprint overfetch:   {:5.1}%", stats.fp_overfetch() * 100.0);
-    println!("way-predictor accuracy:{:5.1}%", stats.wp_accuracy() * 100.0);
+    println!(
+        "footprint accuracy:    {:5.1}%",
+        stats.fp_accuracy() * 100.0
+    );
+    println!(
+        "footprint overfetch:   {:5.1}%",
+        stats.fp_overfetch() * 100.0
+    );
+    println!(
+        "way-predictor accuracy:{:5.1}%",
+        stats.wp_accuracy() * 100.0
+    );
     println!(
         "mean access latency:   {:5.1} CPU cycles",
         stats.mean_latency_ps() * 3.0 / 1000.0
@@ -58,5 +67,8 @@ fn main() {
 
     let instr = after.instructions - before.instructions;
     let cycles = (after.elapsed_ps - before.elapsed_ps) as f64 * 3.0 / 1000.0;
-    println!("\npod throughput:        {:.2} user instructions/cycle", instr as f64 / cycles);
+    println!(
+        "\npod throughput:        {:.2} user instructions/cycle",
+        instr as f64 / cycles
+    );
 }

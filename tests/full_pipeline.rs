@@ -1,8 +1,8 @@
 //! Integration tests: the full trace → system → cache → DRAM pipeline.
 
 use unison_repro::core::{
-    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache,
-    MemPorts, NoCache, UnisonCache, UnisonConfig,
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache, MemPorts,
+    NoCache, UnisonCache, UnisonConfig,
 };
 use unison_repro::sim::{run_experiment, run_speedup, CoreParams, Design, SimConfig, System};
 use unison_repro::trace::{workloads, WorkloadGen};
@@ -24,7 +24,12 @@ fn every_design_runs_every_workload() {
             Design::NoCache,
         ] {
             let r = run_experiment(d, 256 << 20, &w, &cfg);
-            assert!(r.uipc > 0.0, "{} on {} produced no progress", d.name(), w.name);
+            assert!(
+                r.uipc > 0.0,
+                "{} on {} produced no progress",
+                d.name(),
+                w.name
+            );
             assert!(
                 r.cache.miss_ratio() >= 0.0 && r.cache.miss_ratio() <= 1.0,
                 "{} on {}: miss ratio out of range",
@@ -130,7 +135,10 @@ fn runs_are_deterministic() {
     let cfg = quick();
     let a = run_experiment(Design::Unison, 256 << 20, &workloads::tpch(), &cfg);
     let b = run_experiment(Design::Unison, 256 << 20, &workloads::tpch(), &cfg);
-    assert_eq!(a.cache, b.cache, "identical configs must give identical stats");
+    assert_eq!(
+        a.cache, b.cache,
+        "identical configs must give identical stats"
+    );
     assert_eq!(a.elapsed_ps, b.elapsed_ps);
 }
 
@@ -149,13 +157,25 @@ fn predictor_statistics_populate_per_design() {
     let cfg = quick();
     let w = workloads::web_serving();
     let ac = run_experiment(Design::Alloy, 256 << 20, &w, &cfg);
-    assert!(ac.cache.mp_accuracy() > 0.0, "alloy must report MP accuracy");
+    assert!(
+        ac.cache.mp_accuracy() > 0.0,
+        "alloy must report MP accuracy"
+    );
     assert_eq!(ac.cache.wp_lookups, 0, "alloy has no way predictor");
     let uc = run_experiment(Design::Unison, 256 << 20, &w, &cfg);
-    assert!(uc.cache.wp_accuracy() > 0.0, "unison must report WP accuracy");
-    assert!(uc.cache.fp_accuracy() > 0.0, "unison must report FP accuracy");
+    assert!(
+        uc.cache.wp_accuracy() > 0.0,
+        "unison must report WP accuracy"
+    );
+    assert!(
+        uc.cache.fp_accuracy() > 0.0,
+        "unison must report FP accuracy"
+    );
     let fc = run_experiment(Design::Footprint, 256 << 20, &w, &cfg);
-    assert!(fc.cache.fp_accuracy() > 0.0, "footprint must report FP accuracy");
+    assert!(
+        fc.cache.fp_accuracy() > 0.0,
+        "footprint must report FP accuracy"
+    );
     assert_eq!(fc.cache.wp_lookups, 0, "footprint has no way predictor");
 }
 
@@ -163,7 +183,12 @@ fn predictor_statistics_populate_per_design() {
 fn traffic_conservation_holds() {
     // Fills plus writebacks must match the off-chip byte counters.
     let cfg = quick();
-    let r = run_experiment(Design::Unison, 256 << 20, &workloads::software_testing(), &cfg);
+    let r = run_experiment(
+        Design::Unison,
+        256 << 20,
+        &workloads::software_testing(),
+        &cfg,
+    );
     let s = &r.cache;
     assert_eq!(
         s.offchip_read_bytes,
@@ -203,7 +228,6 @@ fn adversarial_all_conflict_trace_survives() {
 #[test]
 fn adversarial_zero_locality_trace_survives() {
     // Unique random-ish addresses: everything misses everywhere.
-    let cfg = CoreParams::default();
     let designs: Vec<Box<dyn DramCacheModel>> = vec![
         Box::new(AlloyCache::new(AlloyConfig::new(16 << 20))),
         Box::new(FootprintCache::new(FootprintConfig::new(16 << 20))),

@@ -1,0 +1,124 @@
+//! Integration tests for the experiment-campaign engine: parallel
+//! execution must be byte-identical to serial, and baseline memoization
+//! must collapse redundant NoCache simulations.
+
+use unison_repro::harness::{sink, BaselineStore, Campaign, ExperimentGrid};
+use unison_repro::sim::{Design, SimConfig};
+use unison_repro::trace::workloads;
+
+/// A configuration even smaller than `quick_test`, for grid-shaped tests
+/// that run dozens of cells.
+fn tiny() -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.accesses = 30_000;
+    cfg.scale = 256;
+    cfg
+}
+
+#[test]
+fn parallel_campaign_is_byte_identical_to_serial() {
+    let grid = ExperimentGrid::new()
+        .designs([Design::Unison, Design::Alloy])
+        .workloads([workloads::web_search(), workloads::data_serving()])
+        .sizes([128 << 20, 512 << 20]);
+
+    let serial = Campaign::new(tiny()).threads(1).run_speedups(&grid);
+    let parallel = Campaign::new(tiny()).threads(4).run_speedups(&grid);
+
+    assert_eq!(serial.cells().len(), 8);
+    assert_eq!(parallel.cells().len(), 8);
+    // Byte-identical RunResults in identical (grid) order, regardless of
+    // worker scheduling: simulations are deterministic in (cell, cfg) and
+    // the pool reassembles results by cell index.
+    let a = serde_json::to_string(&serial.cells).expect("serialize");
+    let b = serde_json::to_string(&parallel.cells).expect("serialize");
+    assert_eq!(a, b, "parallel campaign diverged from serial");
+}
+
+#[test]
+fn fig7_shaped_grid_runs_exactly_one_baseline_per_workload() {
+    // The acceptance grid: 4 designs x 4 sizes x 5 CloudSuite workloads.
+    // 80 speedup cells, but exactly 5 NoCache baseline simulations.
+    let grid = ExperimentGrid::new()
+        .designs([
+            Design::Alloy,
+            Design::Footprint,
+            Design::Unison,
+            Design::Ideal,
+        ])
+        .workloads(workloads::cloudsuite())
+        .sizes([128 << 20, 256 << 20, 512 << 20, 1024 << 20]);
+
+    let results = Campaign::new(tiny()).threads(4).run_speedups(&grid);
+
+    assert_eq!(results.cells().len(), 80);
+    assert_eq!(
+        results.baseline_runs, 5,
+        "one NoCache simulation per workload, not one per speedup"
+    );
+    assert_eq!(
+        results.baseline_hits, 80,
+        "every design cell reuses its workload's memoized baseline"
+    );
+    assert!(results.cells().iter().all(|c| c.speedup.is_some()));
+}
+
+#[test]
+fn baseline_store_returns_identical_cached_results() {
+    let store = BaselineStore::new(tiny());
+    let spec = workloads::web_serving();
+    let first = store.get(&spec, 42);
+    let second = store.get(&spec, 42);
+    assert_eq!(store.computed_runs(), 1);
+    assert_eq!(store.cache_hits(), 1);
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap(),
+        "cached baseline must be the identical result"
+    );
+}
+
+#[test]
+fn sinks_cover_every_cell() {
+    let grid = ExperimentGrid::new()
+        .designs([Design::Unison])
+        .workloads([workloads::web_search()])
+        .sizes([128 << 20, 256 << 20]);
+    let results = Campaign::new(tiny()).threads(2).run_speedups(&grid);
+
+    let csv = sink::to_csv(&results);
+    assert_eq!(csv.lines().count(), 1 + results.cells().len());
+    assert!(csv
+        .lines()
+        .nth(1)
+        .unwrap()
+        .starts_with("Web Search,Unison,134217728,"));
+
+    let json = sink::to_json(&results);
+    assert!(json.contains("\"baseline_runs\": 1"));
+    assert!(json.contains("\"speedup\""));
+}
+
+#[test]
+fn grid_speedups_match_direct_run_speedup() {
+    // The harness must reproduce exactly what the old per-binary serial
+    // loop computed: run_experiment(design)/run_experiment(NoCache).
+    let cfg = tiny();
+    let w = workloads::data_serving();
+    let grid = ExperimentGrid::new()
+        .designs([Design::Ideal])
+        .workloads([w.clone()])
+        .sizes([512 << 20]);
+    let results = Campaign::new(cfg).threads(2).run_speedups(&grid);
+    let harness_speedup = results
+        .get(w.name, "Ideal", 512 << 20)
+        .and_then(|c| c.speedup)
+        .expect("cell present");
+
+    let direct = unison_repro::sim::run_speedup(Design::Ideal, 512 << 20, &w, &cfg);
+    assert!(
+        (harness_speedup - direct.speedup).abs() < 1e-12,
+        "harness {harness_speedup} vs direct {}",
+        direct.speedup
+    );
+}

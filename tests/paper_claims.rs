@@ -60,8 +60,7 @@ fn unison_latency_is_size_independent_and_footprint_is_not() {
     use unison_repro::trace::WorkloadGen;
 
     let measure_fc = |nominal: u64| -> f64 {
-        let cache =
-            FootprintCache::new(FootprintConfig::new(32 << 20).with_nominal(nominal));
+        let cache = FootprintCache::new(FootprintConfig::new(32 << 20).with_nominal(nominal));
         let mut sys = System::new(16, cache, MemPorts::paper_default(), CoreParams::default());
         let mut trace = WorkloadGen::new(workloads::web_search().scaled(256), 42);
         sys.run(&mut trace, 200_000);
@@ -121,8 +120,7 @@ fn footprint_transfers_amortize_activations() {
     let uc = run_experiment(Design::Unison, 512 << 20, &w, &cfg);
     let base = run_experiment(Design::NoCache, 0, &w, &cfg);
     let blocks_per_act = |r: &unison_repro::sim::RunResult| {
-        let blocks =
-            (r.offchip_energy.bytes_read + r.offchip_energy.bytes_written) as f64 / 64.0;
+        let blocks = (r.offchip_energy.bytes_read + r.offchip_energy.bytes_written) as f64 / 64.0;
         blocks / (r.offchip_energy.activations.max(1)) as f64
     };
     let uc_amort = blocks_per_act(&uc);
@@ -138,7 +136,12 @@ fn footprint_transfers_amortize_activations() {
 #[test]
 fn singletons_bypass_allocation() {
     let cfg = SimConfig::quick_test();
-    let r = run_experiment(Design::Unison, 256 << 20, &workloads::data_analytics(), &cfg);
+    let r = run_experiment(
+        Design::Unison,
+        256 << 20,
+        &workloads::data_analytics(),
+        &cfg,
+    );
     assert!(
         r.cache.singleton_bypasses > 0,
         "the pointer-chasing workload must trigger singleton bypasses"
@@ -194,7 +197,10 @@ fn way_misprediction_recovery_is_row_hit() {
         t = a.done_ps + 1000;
     }
     let s = uc.stats();
-    assert!(s.wp_accuracy() < 0.6, "alternation must defeat the way predictor");
+    assert!(
+        s.wp_accuracy() < 0.6,
+        "alternation must defeat the way predictor"
+    );
     let mean_cycles = s.mean_latency_ps() * 3.0 / 1000.0;
     assert!(
         mean_cycles < 120.0,
