@@ -3,9 +3,10 @@
 //! access path, and trace generation throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use unison_core::meta::reference::NaiveStore;
 use unison_core::{
-    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, MemPorts, Request,
-    UnisonCache, UnisonConfig,
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, MemPorts, MetaStore,
+    PageMeta, Replacement, Request, UnisonCache, UnisonConfig,
 };
 use unison_dram::{DramConfig, DramModel, Op, RowCol};
 use unison_predictors::{Footprint, FootprintTable, MissPredictor, WayPredictor};
@@ -50,6 +51,89 @@ fn bench_predictors(c: &mut Criterion) {
             let p = mp.predict((i % 16) as u32, i % 997);
             mp.update((i % 16) as u32, i % 997, i.is_multiple_of(3));
             black_box(p)
+        });
+    });
+    g.finish();
+}
+
+/// Sets/ways geometry of the metadata-walk benchmarks: a 1 GB Unison
+/// cache's worth of sets at the paper's 4-way associativity.
+const META_SETS: u64 = 1 << 18;
+const META_WAYS: u32 = 4;
+
+fn fill_meta_stores() -> (MetaStore, NaiveStore) {
+    let mut soa = MetaStore::paged(META_SETS, META_WAYS, Replacement::AgingLru);
+    let mut naive = NaiveStore::paged(META_SETS, META_WAYS, Replacement::AgingLru);
+    for set in 0..META_SETS {
+        for w in 0..META_WAYS {
+            let meta = PageMeta {
+                tag: u64::from(w) * 3 + (set % 5),
+                present: 0x7ff,
+                demanded: 0x0f1,
+                dirty: 0x011,
+                predicted: 0x7ff,
+                pc: 0x400 + set,
+                offset: (set % 15) as u8,
+            };
+            soa.install(set, w, meta);
+            naive.install(set, w, meta);
+            soa.touch(set, w, 0);
+            naive.touch(set, w, 0);
+        }
+    }
+    (soa, naive)
+}
+
+/// A stride that visits sets in cache-hostile pseudo-random order — the
+/// set-index stream a real trace produces is similarly scattered.
+fn meta_walk_set(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % META_SETS
+}
+
+/// The SoA probe/touch path against the pre-refactor nested-Vec walk:
+/// the per-access hot loop of every simulation. Compare the two
+/// `probe_touch` lines directly; the SoA line must not be slower (the
+/// equivalence suite's `--include-ignored` perf test asserts this).
+fn bench_meta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meta");
+    g.throughput(Throughput::Elements(1));
+    let (mut soa, mut naive) = fill_meta_stores();
+    g.bench_function("probe_touch_soa", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let set = meta_walk_set(i);
+            let found = soa.probe_set(set, i % 16);
+            if let Some(w) = found {
+                soa.touch(set, w, 0);
+            }
+            black_box(found)
+        });
+    });
+    g.bench_function("probe_touch_naive", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let set = meta_walk_set(i);
+            let found = naive.probe_set(set, i % 16);
+            if let Some(w) = found {
+                naive.touch(set, w, 0);
+            }
+            black_box(found)
+        });
+    });
+    g.bench_function("victim_scan_soa", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(soa.evict_victim(meta_walk_set(i)))
+        });
+    });
+    g.bench_function("victim_scan_naive", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(naive.evict_victim(meta_walk_set(i)))
         });
     });
     g.finish();
@@ -138,6 +222,6 @@ fn bench_tracegen(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_predictors, bench_dram, bench_caches, bench_tracegen
+    targets = bench_meta, bench_predictors, bench_dram, bench_caches, bench_tracegen
 }
 criterion_main!(benches);

@@ -13,6 +13,7 @@ use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
 use unison_predictors::{MissPrediction, MissPredictor};
 
 use crate::layout::{AlloyRowLayout, TAD_BYTES};
+use crate::meta::MetaStore;
 use crate::model::{CacheAccess, DramCacheModel};
 use crate::ports::MemPorts;
 use crate::stats::CacheStats;
@@ -42,40 +43,17 @@ impl AlloyConfig {
     }
 }
 
-/// One TAD's metadata, packed: bits 0..30 tag, bit 30 dirty, bit 31 valid.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct TadEntry(u32);
-
-impl TadEntry {
-    const VALID: u32 = 1 << 31;
-    const DIRTY: u32 = 1 << 30;
-    const TAG_MASK: u32 = Self::DIRTY - 1;
-
-    fn valid(self) -> bool {
-        self.0 & Self::VALID != 0
-    }
-    fn dirty(self) -> bool {
-        self.0 & Self::DIRTY != 0
-    }
-    fn tag(self) -> u32 {
-        self.0 & Self::TAG_MASK
-    }
-    fn new(tag: u32, dirty: bool) -> Self {
-        debug_assert!(tag <= Self::TAG_MASK, "tag must fit 30 bits");
-        TadEntry(tag | Self::VALID | if dirty { Self::DIRTY } else { 0 })
-    }
-    fn set_dirty(&mut self) {
-        self.0 |= Self::DIRTY;
-    }
-}
-
 /// The Alloy Cache design. See the [module docs](self).
+///
+/// TAD metadata (tag, valid bit, dirty bit) lives in a direct-mapped
+/// block-mode [`MetaStore`] — the same SoA engine the page caches use,
+/// with the footprint/recency arrays left empty.
 #[derive(Debug, Clone)]
 pub struct AlloyCache {
     cfg: AlloyConfig,
     layout: AlloyRowLayout,
     num_tads: u64,
-    entries: Vec<TadEntry>,
+    meta: MetaStore,
     mp: MissPredictor,
     stats: CacheStats,
 }
@@ -94,7 +72,7 @@ impl AlloyCache {
             cfg,
             layout,
             num_tads,
-            entries: vec![TadEntry::default(); num_tads as usize],
+            meta: MetaStore::blocks(num_tads),
             mp: MissPredictor::paper_default(),
             stats: CacheStats::default(),
         }
@@ -120,10 +98,10 @@ impl AlloyCache {
     /// The victim's data already streamed out with the probe TAD read, so
     /// the writeback is a single off-chip write.
     fn fill(&mut self, now: Ps, tad: u64, tag: u32, dirty: bool, mem: &mut MemPorts) -> Ps {
-        let old = self.entries[tad as usize];
+        let old_valid = self.meta.is_valid(tad, 0);
         let mut done = now;
-        if old.valid() && old.dirty() {
-            let victim_bn = u64::from(old.tag()) * self.num_tads + tad;
+        if old_valid && self.meta.block_dirty(tad) {
+            let victim_bn = self.meta.tag(tad, 0) * self.num_tads + tad;
             let wb = mem.offchip.access_addr(
                 now,
                 Op::Write,
@@ -134,7 +112,7 @@ impl AlloyCache {
             self.stats.writeback_blocks += 1;
             done = done.max(wb.last_data_ps);
         }
-        if old.valid() {
+        if old_valid {
             self.stats.evictions += 1;
         }
         let w = mem
@@ -142,7 +120,7 @@ impl AlloyCache {
             .access(now, Op::Write, self.tad_loc(tad), TAD_BYTES);
         self.stats.stacked_write_bytes += u64::from(TAD_BYTES);
         self.stats.fill_blocks += 1;
-        self.entries[tad as usize] = TadEntry::new(tag, dirty);
+        self.meta.install_block(tad, u64::from(tag), dirty);
         done.max(w.last_data_ps)
     }
 }
@@ -161,8 +139,7 @@ impl DramCacheModel for AlloyCache {
         let bn = req.block_number();
         let tad = bn % self.num_tads;
         let tag = (bn / self.num_tads) as u32;
-        let entry = self.entries[tad as usize];
-        let is_hit = entry.valid() && entry.tag() == tag;
+        let is_hit = self.meta.probe_set(tad, u64::from(tag)).is_some();
 
         // Miss prediction: one extra cycle of predictor latency.
         let (prediction, t0) = if self.cfg.miss_predictor {
@@ -191,7 +168,7 @@ impl DramCacheModel for AlloyCache {
                             mem.stacked
                                 .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
                         self.stats.stacked_write_bytes += u64::from(TAD_BYTES);
-                        self.entries[tad as usize].set_dirty();
+                        self.meta.mark_block_dirty(tad);
                         done = done.max(w.last_data_ps);
                     }
                     self.stats.hits += 1;
@@ -239,7 +216,7 @@ impl DramCacheModel for AlloyCache {
                             mem.stacked
                                 .access(tag_known, Op::Write, self.tad_loc(tad), TAD_BYTES);
                         self.stats.stacked_write_bytes += u64::from(TAD_BYTES);
-                        self.entries[tad as usize].set_dirty();
+                        self.meta.mark_block_dirty(tad);
                         done = done.max(w.last_data_ps);
                     }
                     self.stats.hits += 1;

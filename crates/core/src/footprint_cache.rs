@@ -13,6 +13,7 @@ use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
 use unison_predictors::{Footprint, FootprintTable, SingletonEntry, SingletonTable};
 
 use crate::layout::{FcTagModel, ROW_BYTES};
+use crate::meta::{MetaStore, PageMeta, Replacement};
 use crate::model::{CacheAccess, DramCacheModel};
 use crate::ports::MemPorts;
 use crate::stats::CacheStats;
@@ -61,28 +62,17 @@ const PAGE_BYTES: u64 = PAGE_BLOCKS as u64 * BLOCK_BYTES;
 /// Table II).
 const PAGES_PER_ROW: u64 = ROW_BYTES / PAGE_BYTES;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct PageEntry {
-    valid: bool,
-    tag: u64,
-    present: u32,
-    demanded: u32,
-    dirty: u32,
-    predicted: u32,
-    pc: u64,
-    offset: u8,
-    /// Recency stamp (lower = more recent); 32-way LRU needs more range
-    /// than a saturating byte.
-    stamp: u32,
-}
-
 /// The Footprint Cache design. See the [module docs](self).
+///
+/// Set metadata lives in a struct-of-arrays [`MetaStore`] under
+/// timestamp LRU (32-way recency needs more range than a saturating
+/// byte, so stamps are the access clock).
 #[derive(Debug, Clone)]
 pub struct FootprintCache {
     cfg: FootprintConfig,
     tag_model: FcTagModel,
     num_sets: u64,
-    entries: Vec<PageEntry>,
+    meta: MetaStore,
     fp_table: FootprintTable,
     singletons: SingletonTable,
     clock: u32,
@@ -101,7 +91,7 @@ impl FootprintCache {
         FootprintCache {
             tag_model: FcTagModel::for_cache_size(cfg.nominal_bytes),
             num_sets,
-            entries: vec![PageEntry::default(); (num_sets * u64::from(cfg.assoc)) as usize],
+            meta: MetaStore::paged(num_sets, cfg.assoc, Replacement::TimestampLru),
             fp_table: FootprintTable::paper_default(PAGE_BLOCKS),
             singletons: SingletonTable::paper_default(),
             clock: 0,
@@ -125,31 +115,6 @@ impl FootprintCache {
         self.num_sets
     }
 
-    fn entry(&self, set: u64, way: u32) -> &PageEntry {
-        &self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
-    }
-
-    fn entry_mut(&mut self, set: u64, way: u32) -> &mut PageEntry {
-        &mut self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
-    }
-
-    fn find_way(&self, set: u64, tag: u64) -> Option<u32> {
-        (0..self.cfg.assoc).find(|&w| {
-            let e = self.entry(set, w);
-            e.valid && e.tag == tag
-        })
-    }
-
-    fn victim_way(&self, set: u64) -> u32 {
-        (0..self.cfg.assoc)
-            .find(|&w| !self.entry(set, w).valid)
-            .unwrap_or_else(|| {
-                (0..self.cfg.assoc)
-                    .min_by_key(|&w| self.entry(set, w).stamp)
-                    .expect("assoc >= 1")
-            })
-    }
-
     /// Stacked-DRAM location of a block: pages pack four to a row,
     /// way-major (`slot = way * sets + set`) so that consecutive sets
     /// rotate across channels and banks. A set-major layout would derive
@@ -167,11 +132,10 @@ impl FootprintCache {
     }
 
     fn evict(&mut self, now: Ps, set: u64, way: u32, mem: &mut MemPorts) -> Ps {
-        let e = *self.entry(set, way);
-        let victim_page = e.tag * self.num_sets + set;
+        let info = self.meta.eviction_info(set, way, PAGE_BLOCKS);
+        let victim_page = self.meta.tag(set, way) * self.num_sets + set;
         let mut done = now;
-        let dirty = Footprint::from_mask(u64::from(e.dirty), PAGE_BLOCKS);
-        for b in dirty.iter() {
+        for b in info.dirty.iter() {
             let rd = mem.stacked.access(
                 now,
                 Op::Read,
@@ -189,17 +153,13 @@ impl FootprintCache {
             self.stats.offchip_write_bytes += BLOCK_BYTES;
             self.stats.writeback_blocks += 1;
         }
-        let actual = Footprint::from_mask(u64::from(e.demanded), PAGE_BLOCKS);
-        let predicted = Footprint::from_mask(u64::from(e.predicted), PAGE_BLOCKS);
-        self.stats.fp_predicted_blocks += u64::from(predicted.len());
-        self.stats.fp_actual_blocks += u64::from(actual.len());
-        self.stats.fp_covered_blocks += u64::from(predicted.intersect(&actual).len());
-        self.stats.fp_over_blocks += u64::from(predicted.minus(&actual).len());
-        if !actual.is_empty() {
-            self.fp_table.train(e.pc, u32::from(e.offset), actual);
-        }
+        let q = self.fp_table.observe_eviction(&info);
+        self.stats.fp_predicted_blocks += q.predicted_blocks;
+        self.stats.fp_actual_blocks += q.actual_blocks;
+        self.stats.fp_covered_blocks += q.covered_blocks;
+        self.stats.fp_over_blocks += q.over_blocks;
         self.stats.evictions += 1;
-        self.entry_mut(set, way).valid = false;
+        self.meta.invalidate(set, way);
         done
     }
 
@@ -275,13 +235,12 @@ impl DramCacheModel for FootprintCache {
             + cpu_cycles_to_ps(self.cfg.ctrl_overhead_cycles)
             + cpu_cycles_to_ps(self.tag_model.latency_cycles);
 
-        let found = self.find_way(set, tag);
+        let found = self.meta.probe_set(set, tag);
         let clock = self.clock;
         let access = match found {
             Some(way) => {
                 let block_bit = 1u32 << offset;
-                let present = self.entry(set, way).present & block_bit != 0;
-                if present {
+                if self.meta.present(set, way) & block_bit != 0 {
                     // Hit: the SRAM tags name the exact way, so only the
                     // data block is read from stacked DRAM.
                     let d = mem.stacked.access(
@@ -302,14 +261,11 @@ impl DramCacheModel for FootprintCache {
                         self.stats.stacked_write_bytes += BLOCK_BYTES;
                         done = done.max(w.last_data_ps);
                     }
-                    {
-                        let e = self.entry_mut(set, way);
-                        e.demanded |= block_bit;
-                        if req.is_write {
-                            e.dirty |= block_bit;
-                        }
-                        e.stamp = clock;
+                    self.meta.or_demanded(set, way, block_bit);
+                    if req.is_write {
+                        self.meta.or_dirty(set, way, block_bit);
                     }
+                    self.meta.touch(set, way, clock);
                     self.stats.hits += 1;
                     CacheAccess {
                         outcome: AccessOutcome::Hit,
@@ -333,15 +289,12 @@ impl DramCacheModel for FootprintCache {
                     );
                     self.stats.stacked_write_bytes += BLOCK_BYTES;
                     self.stats.fill_blocks += 1;
-                    {
-                        let e = self.entry_mut(set, way);
-                        e.present |= block_bit;
-                        e.demanded |= block_bit;
-                        if req.is_write {
-                            e.dirty |= block_bit;
-                        }
-                        e.stamp = clock;
+                    self.meta.or_present(set, way, block_bit);
+                    self.meta.or_demanded(set, way, block_bit);
+                    if req.is_write {
+                        self.meta.or_dirty(set, way, block_bit);
                     }
+                    self.meta.touch(set, way, clock);
                     self.stats.underprediction_misses += 1;
                     CacheAccess {
                         outcome: AccessOutcome::UnderpredictionMiss,
@@ -389,9 +342,9 @@ impl DramCacheModel for FootprintCache {
                         done_ps: oc.last_data_ps,
                     }
                 } else {
-                    let way = self.victim_way(set);
+                    let way = self.meta.evict_victim(set);
                     let mut evict_done = tag_known;
-                    if self.entry(set, way).valid {
+                    if self.meta.is_valid(set, way) {
                         evict_done = self.evict(tag_known, set, way, mem);
                     }
                     let mut fetch = predicted_fp.unwrap_or_else(|| Footprint::full(PAGE_BLOCKS));
@@ -399,17 +352,20 @@ impl DramCacheModel for FootprintCache {
                     let (crit, fill_done) =
                         self.fetch_footprint(tag_known, page, set, way, offset, fetch, mem);
                     let block_bit = 1u32 << offset;
-                    *self.entry_mut(set, way) = PageEntry {
-                        valid: true,
-                        tag,
-                        present: fetch.mask() as u32,
-                        demanded: block_bit,
-                        dirty: if req.is_write { block_bit } else { 0 },
-                        predicted: fetch.mask() as u32,
-                        pc: req.pc,
-                        offset: offset as u8,
-                        stamp: clock,
-                    };
+                    self.meta.install(
+                        set,
+                        way,
+                        PageMeta {
+                            tag,
+                            present: fetch.mask() as u32,
+                            demanded: block_bit,
+                            dirty: if req.is_write { block_bit } else { 0 },
+                            predicted: fetch.mask() as u32,
+                            pc: req.pc,
+                            offset: offset as u8,
+                        },
+                    );
+                    self.meta.touch(set, way, clock);
                     self.stats.trigger_misses += 1;
                     CacheAccess {
                         outcome: AccessOutcome::TriggerMiss,

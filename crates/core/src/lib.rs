@@ -37,6 +37,7 @@ pub mod alloy;
 pub mod footprint_cache;
 pub mod ideal;
 pub mod layout;
+pub mod meta;
 mod model;
 pub mod nocache;
 mod ports;
@@ -48,6 +49,7 @@ pub mod unison;
 pub use alloy::{AlloyCache, AlloyConfig};
 pub use footprint_cache::{FootprintCache, FootprintConfig};
 pub use ideal::IdealCache;
+pub use meta::{MetaStore, PageMeta, Replacement};
 pub use model::{CacheAccess, DramCacheModel};
 pub use nocache::NoCache;
 pub use ports::MemPorts;

@@ -21,6 +21,7 @@ use unison_dram::{cpu_cycles_to_ps, Op, Ps, RowCol};
 use unison_predictors::{Footprint, FootprintTable, SingletonEntry, SingletonTable, WayPredictor};
 
 use crate::layout::{unison_tag_read_bytes, UnisonRowLayout, ROW_BYTES};
+use crate::meta::{MetaStore, PageMeta, Replacement};
 use crate::model::{CacheAccess, DramCacheModel};
 use crate::ports::MemPorts;
 use crate::residue::split_page_offset;
@@ -111,34 +112,20 @@ impl UnisonConfig {
     }
 }
 
-/// Metadata for one cached page. Block sets are bit masks over the page's
-/// blocks, using the paper's re-encoded valid/dirty state (§III-A.2):
-/// `present` = data valid in cache, `demanded` = demanded by the CPU at
-/// least once (vs. merely prefetched), `dirty` = modified.
-#[derive(Debug, Clone, Copy, Default)]
-struct PageEntry {
-    valid: bool,
-    tag: u64,
-    present: u32,
-    demanded: u32,
-    dirty: u32,
-    /// What the footprint fetch installed (measurement state mirroring
-    /// `present` at install time; hardware derives this at eviction from
-    /// the encoded block states).
-    predicted: u32,
-    pc: u64,
-    offset: u8,
-    lru: u8,
-}
-
 /// The Unison Cache design. See the [module docs](self) for the feature
 /// inventory and the paper-section mapping.
+///
+/// Set metadata — tags, per-block present/demanded/dirty masks (the
+/// paper's re-encoded block state, §III-A.2), LRU ages, and the
+/// allocation-trigger `(PC, offset)` pairs — lives in a struct-of-arrays
+/// [`MetaStore`] so the per-access probe/touch/victim walks run over
+/// contiguous memory.
 #[derive(Debug, Clone)]
 pub struct UnisonCache {
     cfg: UnisonConfig,
     layout: UnisonRowLayout,
     num_sets: u64,
-    entries: Vec<PageEntry>,
+    meta: MetaStore,
     fp_table: FootprintTable,
     singletons: SingletonTable,
     wp: WayPredictor,
@@ -161,11 +148,10 @@ impl UnisonCache {
         let layout = UnisonRowLayout::new(cfg.page_blocks, cfg.assoc);
         let num_sets = layout.num_sets(cfg.cache_bytes);
         assert!(num_sets > 0, "cache too small for even one set");
-        let entries = vec![PageEntry::default(); (num_sets * u64::from(cfg.assoc)) as usize];
         UnisonCache {
             layout,
             num_sets,
-            entries,
+            meta: MetaStore::paged(num_sets, cfg.assoc, Replacement::AgingLru),
             fp_table: FootprintTable::paper_default(cfg.page_blocks),
             singletons: SingletonTable::paper_default(),
             // 2-bit entries hold at most 4 ways; larger associativities
@@ -234,42 +220,6 @@ impl UnisonCache {
         }
     }
 
-    fn entry(&self, set: u64, way: u32) -> &PageEntry {
-        &self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
-    }
-
-    fn entry_mut(&mut self, set: u64, way: u32) -> &mut PageEntry {
-        &mut self.entries[(set * u64::from(self.cfg.assoc) + u64::from(way)) as usize]
-    }
-
-    fn find_way(&self, set: u64, tag: u64) -> Option<u32> {
-        (0..self.cfg.assoc).find(|&w| {
-            let e = self.entry(set, w);
-            e.valid && e.tag == tag
-        })
-    }
-
-    fn touch_lru(&mut self, set: u64, used_way: u32) {
-        for w in 0..self.cfg.assoc {
-            let e = self.entry_mut(set, w);
-            if w == used_way {
-                e.lru = 0;
-            } else {
-                e.lru = e.lru.saturating_add(1);
-            }
-        }
-    }
-
-    fn victim_way(&self, set: u64) -> u32 {
-        (0..self.cfg.assoc)
-            .find(|&w| !self.entry(set, w).valid)
-            .unwrap_or_else(|| {
-                (0..self.cfg.assoc)
-                    .max_by_key(|&w| self.entry(set, w).lru)
-                    .expect("assoc >= 1")
-            })
-    }
-
     /// Physical byte address of `block` within `page`.
     fn block_phys_addr(&self, page: u64, block: u32) -> u64 {
         (page * u64::from(self.cfg.page_blocks) + u64::from(block)) * BLOCK_BYTES
@@ -279,9 +229,11 @@ impl UnisonCache {
     /// training the footprint predictor with the observed footprint.
     /// Returns the time the eviction traffic completes.
     fn evict(&mut self, now: Ps, set: u64, way: u32, mem: &mut MemPorts) -> Ps {
-        let e = *self.entry(set, way);
-        debug_assert!(e.valid);
-        let victim_page = e.tag * self.num_sets + set;
+        debug_assert!(self.meta.is_valid(set, way));
+        // One gather from the SoA arrays covers the whole eviction: the
+        // trigger identity and the demanded/predicted/dirty masks.
+        let info = self.meta.eviction_info(set, way, self.cfg.page_blocks);
+        let victim_page = self.meta.tag(set, way) * self.num_sets + set;
         let mut done = now;
 
         // The (PC, offset) pair and bit vectors are read from the row at
@@ -292,8 +244,7 @@ impl UnisonCache {
         self.stats.stacked_read_bytes += 8;
 
         // Dirty blocks: read out of the cache row, write back off-chip.
-        let dirty = Footprint::from_mask(u64::from(e.dirty), self.cfg.page_blocks);
-        for b in dirty.iter() {
+        for b in info.dirty.iter() {
             let rd = mem.stacked.access(
                 meta.last_data_ps,
                 Op::Read,
@@ -314,18 +265,14 @@ impl UnisonCache {
 
         // Train the footprint predictor with the actual footprint and
         // record the prediction-quality accounting (Table V).
-        let actual = Footprint::from_mask(u64::from(e.demanded), self.cfg.page_blocks);
-        let predicted = Footprint::from_mask(u64::from(e.predicted), self.cfg.page_blocks);
-        self.stats.fp_predicted_blocks += u64::from(predicted.len());
-        self.stats.fp_actual_blocks += u64::from(actual.len());
-        self.stats.fp_covered_blocks += u64::from(predicted.intersect(&actual).len());
-        self.stats.fp_over_blocks += u64::from(predicted.minus(&actual).len());
-        if !actual.is_empty() {
-            self.fp_table.train(e.pc, u32::from(e.offset), actual);
-        }
+        let q = self.fp_table.observe_eviction(&info);
+        self.stats.fp_predicted_blocks += q.predicted_blocks;
+        self.stats.fp_actual_blocks += q.actual_blocks;
+        self.stats.fp_covered_blocks += q.covered_blocks;
+        self.stats.fp_over_blocks += q.over_blocks;
         self.stats.evictions += 1;
 
-        self.entry_mut(set, way).valid = false;
+        self.meta.invalidate(set, way);
         done
     }
 
@@ -444,26 +391,25 @@ impl DramCacheModel for UnisonCache {
             WayPolicy::SerialTagData => {} // data read issued after tags
         }
 
-        let found = self.find_way(set, tag);
+        let found = self.meta.probe_set(set, tag);
 
         // Way-predictor bookkeeping: accuracy is defined over accesses to
         // resident pages (a prediction is "correct" when the page is
-        // found in the predicted way).
+        // found in the predicted way). The predictor consumes the probe
+        // result directly.
         if matches!(self.cfg.way_policy, WayPolicy::Predict) {
             if let Some(w) = found {
                 self.stats.wp_lookups += 1;
-                if w == predicted_way {
+                if self.wp.observe_probe(page, predicted_way, w) {
                     self.stats.wp_correct += 1;
                 }
-                self.wp.update(page, w.min(3));
             }
         }
 
         let access = match found {
             Some(way) => {
-                let e = *self.entry(set, way);
                 let block_bit = 1u32 << offset;
-                if e.present & block_bit != 0 {
+                if self.meta.present(set, way) & block_bit != 0 {
                     // ---- HIT ----
                     let data_ready = match self.cfg.way_policy {
                         WayPolicy::Predict => {
@@ -495,16 +441,13 @@ impl DramCacheModel for UnisonCache {
                         }
                     };
                     let mut meta_dirty = false;
-                    {
-                        let e = self.entry_mut(set, way);
-                        if e.demanded & block_bit == 0 {
-                            e.demanded |= block_bit;
-                            meta_dirty = true;
-                        }
-                        if req.is_write && e.dirty & block_bit == 0 {
-                            e.dirty |= block_bit;
-                            meta_dirty = true;
-                        }
+                    if self.meta.demanded(set, way) & block_bit == 0 {
+                        self.meta.or_demanded(set, way, block_bit);
+                        meta_dirty = true;
+                    }
+                    if req.is_write && self.meta.dirty(set, way) & block_bit == 0 {
+                        self.meta.or_dirty(set, way, block_bit);
+                        meta_dirty = true;
                     }
                     let mut done = data_ready;
                     if req.is_write {
@@ -552,13 +495,10 @@ impl DramCacheModel for UnisonCache {
                     self.stats.fill_blocks += 1;
                     // Bit-vector update rides the write queue (see hit path).
                     self.stats.stacked_write_bytes += 8;
-                    {
-                        let e = self.entry_mut(set, way);
-                        e.present |= block_bit;
-                        e.demanded |= block_bit;
-                        if req.is_write {
-                            e.dirty |= block_bit;
-                        }
+                    self.meta.or_present(set, way, block_bit);
+                    self.meta.or_demanded(set, way, block_bit);
+                    if req.is_write {
+                        self.meta.or_dirty(set, way, block_bit);
                     }
                     self.stats.underprediction_misses += 1;
                     CacheAccess {
@@ -611,9 +551,9 @@ impl DramCacheModel for UnisonCache {
                     }
                 } else {
                     // Allocate: evict the LRU way, fetch the footprint.
-                    let way = self.victim_way(set);
+                    let way = self.meta.evict_victim(set);
                     let mut evict_done = tag_known;
-                    if self.entry(set, way).valid {
+                    if self.meta.is_valid(set, way) {
                         evict_done = self.evict(tag_known, set, way, mem);
                     }
                     // No history => conservative full-page default.
@@ -629,21 +569,23 @@ impl DramCacheModel for UnisonCache {
                     self.stats.stacked_write_bytes += 16;
 
                     let block_bit = 1u32 << offset;
-                    *self.entry_mut(set, way) = PageEntry {
-                        valid: true,
-                        tag,
-                        present: fetch.mask() as u32,
-                        demanded: block_bit,
-                        dirty: if req.is_write { block_bit } else { 0 },
-                        predicted: fetch.mask() as u32,
-                        pc: req.pc,
-                        offset: offset as u8,
-                        lru: 0,
-                    };
+                    self.meta.install(
+                        set,
+                        way,
+                        PageMeta {
+                            tag,
+                            present: fetch.mask() as u32,
+                            demanded: block_bit,
+                            dirty: if req.is_write { block_bit } else { 0 },
+                            predicted: fetch.mask() as u32,
+                            pc: req.pc,
+                            offset: offset as u8,
+                        },
+                    );
                     if matches!(self.cfg.way_policy, WayPolicy::Predict) {
                         self.wp.update(page, way.min(3));
                     }
-                    self.touch_lru(set, way);
+                    self.meta.touch(set, way, 0);
                     self.stats.trigger_misses += 1;
                     return self.finish(
                         now,
@@ -658,7 +600,7 @@ impl DramCacheModel for UnisonCache {
         };
 
         if let Some(way) = found {
-            self.touch_lru(set, way);
+            self.meta.touch(set, way, 0);
         }
         self.finish(now, access)
     }

@@ -1,0 +1,269 @@
+//! Property tests: the SoA [`MetaStore`] against the naive nested-Vec
+//! arrays-of-structs [`NaiveStore`] reference on arbitrary request-like
+//! operation streams.
+//!
+//! The driver below applies the same operations a cache design issues —
+//! probe, recency touch, mask updates on hits, victim selection +
+//! invalidate + install on misses — to both stores and asserts they stay
+//! in lock-step on every observable: probe results, victim choices,
+//! validity, entry contents, and recency stamps. It also checks the
+//! structural invariants the designs rely on:
+//!
+//! * no two valid ways of a set ever share a tag;
+//! * `dirty ⊆ present` and `demanded ⊆ present` for every valid entry;
+//! * aging-LRU stamps never exceed 255 (the in-DRAM LRU byte);
+//! * after a touch, the touched way is the set's most-recent way.
+
+use proptest::prelude::*;
+use unison_core::meta::reference::NaiveStore;
+use unison_core::{MetaStore, PageMeta, Replacement};
+
+// 24 sets: with 3 ways the store holds 72 entries, so high sets' valid
+// bits straddle the boundary between two packed u64 words (set 21 spans
+// entries 63..66) — the property streams must exercise that merge path,
+// which no production geometry (1/2/4/32 ways, all dividing 64) reaches.
+const SETS: u64 = 24;
+
+/// One request-like step: `sel` picks the operation, the rest seed its
+/// operands. Tags are drawn from a small space so streams actually hit.
+type Op = (u8, u64, u64, u32, u32);
+
+fn policy_of(which: bool) -> Replacement {
+    if which {
+        Replacement::AgingLru
+    } else {
+        Replacement::TimestampLru
+    }
+}
+
+/// Applies one op to both stores, asserting observable equality at every
+/// decision point. Returns the clock (monotonic per stream).
+fn step(soa: &mut MetaStore, naive: &mut NaiveStore, op: Op, clock: u32) {
+    let (sel, set_raw, tag_raw, bits_raw, pc_seed) = op;
+    let set = set_raw % SETS;
+    let tag = tag_raw % 16;
+    let ways = soa.ways();
+    match sel % 4 {
+        // A read/write touching a resident page: mask updates + touch.
+        0 => {
+            let found = soa.probe_set(set, tag);
+            assert_eq!(found, naive.probe_set(set, tag), "probe diverged");
+            if let Some(w) = found {
+                // Cache designs only demand/dirty blocks that are present.
+                let present = soa.load(set, w).present;
+                let bits = bits_raw & present;
+                soa.or_demanded(set, w, bits);
+                naive.or_demanded(set, w, bits);
+                if pc_seed & 1 == 1 {
+                    soa.or_dirty(set, w, bits);
+                    naive.or_dirty(set, w, bits);
+                }
+                soa.touch(set, w, clock);
+                naive.touch(set, w, clock);
+                assert_eq!(soa.stamps(set), naive.stamps(set).as_slice());
+            }
+        }
+        // A trigger miss: victim selection, eviction, install, touch.
+        1 => {
+            if soa.probe_set(set, tag).is_some() {
+                return; // resident: nothing to allocate
+            }
+            let victim = soa.evict_victim(set);
+            assert_eq!(victim, naive.evict_victim(set), "victim diverged");
+            if soa.is_valid(set, victim) {
+                // The eviction record must agree with the entry contents.
+                let info = soa.eviction_info(set, victim, 31);
+                let e = naive.load(set, victim);
+                assert_eq!(info.actual.mask(), u64::from(e.demanded));
+                assert_eq!(info.predicted.mask(), u64::from(e.predicted));
+                assert_eq!(info.dirty.mask(), u64::from(e.dirty));
+                assert_eq!(info.pc, e.pc);
+                assert_eq!(info.offset, u32::from(e.offset));
+                soa.invalidate(set, victim);
+                naive.invalidate(set, victim);
+            }
+            // Masks only ever contain bits below page_blocks (31 here),
+            // as in the cache designs.
+            let present = (bits_raw & 0x7fff_ffff) | 1;
+            let meta = PageMeta {
+                tag,
+                present,
+                demanded: 1,
+                dirty: if pc_seed & 1 == 1 { 1 } else { 0 },
+                predicted: present,
+                pc: u64::from(pc_seed),
+                offset: (bits_raw % 31) as u8,
+            };
+            soa.install(set, victim, meta);
+            naive.install(set, victim, meta);
+            soa.touch(set, victim, clock);
+            naive.touch(set, victim, clock);
+        }
+        // An invalidation (e.g. a bypass correction).
+        2 => {
+            let found = soa.probe_set(set, tag);
+            assert_eq!(found, naive.probe_set(set, tag));
+            if let Some(w) = found {
+                soa.invalidate(set, w);
+                naive.invalidate(set, w);
+            }
+        }
+        // A pure recency touch of an arbitrary way.
+        _ => {
+            let w = bits_raw % ways;
+            soa.touch(set, w, clock);
+            naive.touch(set, w, clock);
+        }
+    }
+}
+
+/// Full-state comparison plus the structural invariants.
+fn check_invariants(soa: &MetaStore, naive: &NaiveStore, policy: Replacement) {
+    for set in 0..SETS {
+        let mut live_tags = Vec::new();
+        for w in 0..soa.ways() {
+            assert_eq!(
+                soa.is_valid(set, w),
+                naive.is_valid(set, w),
+                "validity diverged at ({set}, {w})"
+            );
+            if soa.is_valid(set, w) {
+                let a = soa.load(set, w);
+                let b = naive.load(set, w);
+                assert_eq!(a, b, "entry diverged at ({set}, {w})");
+                assert_eq!(
+                    a.dirty & !a.present,
+                    0,
+                    "dirty block outside present at ({set}, {w})"
+                );
+                assert_eq!(
+                    a.demanded & !a.present,
+                    0,
+                    "demanded block outside present at ({set}, {w})"
+                );
+                assert!(
+                    !live_tags.contains(&a.tag),
+                    "two valid ways of set {set} share tag {}",
+                    a.tag
+                );
+                live_tags.push(a.tag);
+            }
+        }
+        assert_eq!(
+            soa.stamps(set),
+            naive.stamps(set).as_slice(),
+            "recency diverged at set {set}"
+        );
+        if policy == Replacement::AgingLru {
+            assert!(
+                soa.stamps(set).iter().all(|&s| s <= 255),
+                "aging stamp overflowed its byte"
+            );
+        }
+        assert_eq!(soa.evict_victim(set), naive.evict_victim(set));
+    }
+}
+
+proptest! {
+    /// Arbitrary op streams keep the SoA store and the nested-Vec
+    /// reference in lock-step under both replacement policies.
+    #[test]
+    fn soa_matches_nested_vec_reference(
+        aging in any::<bool>(),
+        ways in 1u32..=4,
+        ops in proptest::collection::vec(
+            (0u8..4, 0u64..64, 0u64..64, any::<u32>(), any::<u32>()),
+            1..250,
+        )
+    ) {
+        let policy = policy_of(aging);
+        let mut soa = MetaStore::paged(SETS, ways, policy);
+        let mut naive = NaiveStore::paged(SETS, ways, policy);
+        for (i, op) in ops.into_iter().enumerate() {
+            step(&mut soa, &mut naive, op, i as u32 + 1);
+        }
+        check_invariants(&soa, &naive, policy);
+    }
+
+    /// After touching a valid way under aging LRU it is never the next
+    /// victim of a full set (the defining LRU-order property), and under
+    /// timestamp LRU the victim is always the least-recently-stamped
+    /// valid way.
+    #[test]
+    fn touched_way_is_most_recent(
+        aging in any::<bool>(),
+        ways in 2u32..=4,
+        seed_ops in proptest::collection::vec(
+            (0u8..4, 0u64..64, 0u64..64, any::<u32>(), any::<u32>()),
+            1..120,
+        ),
+        set_raw in 0u64..64,
+        way_raw in 0u32..4,
+    ) {
+        let policy = policy_of(aging);
+        let mut soa = MetaStore::paged(SETS, ways, policy);
+        let mut naive = NaiveStore::paged(SETS, ways, policy);
+        let mut clock = 0;
+        for op in seed_ops {
+            clock += 1;
+            step(&mut soa, &mut naive, op, clock);
+        }
+        // Fill the chosen set completely so the victim is a true LRU
+        // choice, not an invalid way.
+        let set = set_raw % SETS;
+        for w in 0..ways {
+            if !soa.is_valid(set, w) {
+                let meta = PageMeta { tag: 100 + u64::from(w), ..PageMeta::default() };
+                soa.install(set, w, meta);
+                naive.install(set, w, meta);
+                clock += 1;
+                soa.touch(set, w, clock);
+                naive.touch(set, w, clock);
+            }
+        }
+        let way = way_raw % ways;
+        clock += 1;
+        soa.touch(set, way, clock);
+        naive.touch(set, way, clock);
+        let victim = soa.evict_victim(set);
+        prop_assert_eq!(victim, naive.evict_victim(set));
+        prop_assert!(victim != way, "most-recently-touched way chosen as victim");
+        if policy == Replacement::TimestampLru {
+            let stamps = soa.stamps(set);
+            let min = *stamps.iter().min().expect("ways >= 2");
+            prop_assert_eq!(stamps[victim as usize], min);
+        }
+    }
+
+    /// The eviction record is a pure projection of the entry state: its
+    /// masks always reproduce the load() view truncated to the page.
+    #[test]
+    fn eviction_info_is_projection(
+        tag in 0u64..1000,
+        present in any::<u32>(),
+        demanded in any::<u32>(),
+        dirty in any::<u32>(),
+        pc in any::<u64>(),
+        offset in 0u32..31,
+        page_blocks in 1u32..=31,
+    ) {
+        let mut m = MetaStore::paged(2, 2, Replacement::AgingLru);
+        let meta = PageMeta {
+            tag,
+            present: present | demanded | dirty, // cache invariant
+            demanded,
+            dirty,
+            predicted: present,
+            pc,
+            offset: offset as u8,
+        };
+        m.install(1, 1, meta);
+        let info = m.eviction_info(1, 1, page_blocks);
+        let page_mask = if page_blocks == 64 { u64::MAX } else { (1u64 << page_blocks) - 1 };
+        prop_assert_eq!(info.actual.mask(), u64::from(demanded) & page_mask);
+        prop_assert_eq!(info.predicted.mask(), u64::from(present) & page_mask);
+        prop_assert_eq!(info.dirty.mask(), u64::from(dirty) & page_mask);
+        prop_assert_eq!(info.pc, pc);
+        prop_assert_eq!(info.offset, offset);
+    }
+}

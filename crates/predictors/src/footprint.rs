@@ -326,6 +326,56 @@ impl FootprintTable {
     pub fn lookup_stats(&self) -> (u64, u64) {
         (self.predictions, self.hits)
     }
+
+    /// Consumes a page eviction straight from the cache's metadata store:
+    /// trains on the actual footprint (when non-empty, as always) and
+    /// returns the prediction-quality deltas for the caller's Table V
+    /// accounting. This is the single place eviction-time training and
+    /// its bookkeeping are defined; both page-based designs call it.
+    pub fn observe_eviction(&mut self, info: &EvictionInfo) -> FpQuality {
+        let q = FpQuality {
+            predicted_blocks: u64::from(info.predicted.len()),
+            actual_blocks: u64::from(info.actual.len()),
+            covered_blocks: u64::from(info.predicted.intersect(&info.actual).len()),
+            over_blocks: u64::from(info.predicted.minus(&info.actual).len()),
+        };
+        if !info.actual.is_empty() {
+            self.train(info.pc, info.offset, info.actual);
+        }
+        q
+    }
+}
+
+/// A page-eviction record, assembled by the cache's metadata store
+/// (`unison_core::MetaStore::eviction_info`) from its SoA arrays: the
+/// allocation-trigger identity plus the block masks the paper's encoded
+/// block states imply at eviction (§III-A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionInfo {
+    /// PC of the access that triggered the page's allocation.
+    pub pc: u64,
+    /// Block offset of the trigger access.
+    pub offset: u32,
+    /// Blocks the CPU actually demanded during the residency.
+    pub actual: Footprint,
+    /// Blocks the footprint fetch installed at allocation.
+    pub predicted: Footprint,
+    /// Blocks modified during the residency (written back by the caller).
+    pub dirty: Footprint,
+}
+
+/// Prediction-quality deltas from one eviction — the per-page terms of
+/// Table V's "FP Accuracy" / "FP Overfetch" aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpQuality {
+    /// Size of the predicted (installed) footprint.
+    pub predicted_blocks: u64,
+    /// Size of the actual (demanded) footprint.
+    pub actual_blocks: u64,
+    /// `|predicted ∩ actual|` — correctly predicted blocks.
+    pub covered_blocks: u64,
+    /// `|predicted − actual|` — fetched but never demanded.
+    pub over_blocks: u64,
 }
 
 /// An entry of the [`SingletonTable`].

@@ -33,7 +33,9 @@ mod miss;
 mod util;
 mod way;
 
-pub use footprint::{Footprint, FootprintTable, SingletonEntry, SingletonTable};
+pub use footprint::{
+    EvictionInfo, Footprint, FootprintTable, FpQuality, SingletonEntry, SingletonTable,
+};
 pub use miss::{MissPrediction, MissPredictor};
 pub use util::{fold_hash, mix64, SatCounter};
 pub use way::WayPredictor;

@@ -91,6 +91,18 @@ impl WayPredictor {
         self.entries[idx] = actual_way as u8;
     }
 
+    /// Resolves a probe: records the way the tag check actually found
+    /// (clamped into the predictor's range, as cache associativities
+    /// wider than the 2-bit entries degrade to the low ways) and returns
+    /// whether `predicted` was correct. This is the way-predictor side of
+    /// the SoA probe loop: `MetaStore::probe_set` produces `actual`, and
+    /// the cache feeds its accuracy stats from the returned flag.
+    pub fn observe_probe(&mut self, page_addr: u64, predicted: u32, actual: u32) -> bool {
+        let correct = actual == predicted;
+        self.update(page_addr, actual.min(self.ways - 1));
+        correct
+    }
+
     /// `(lookups, correct)` counts. `correct` increments on `update`
     /// calls whose previous prediction matched, so call `update` once per
     /// predicted access for meaningful accuracy.

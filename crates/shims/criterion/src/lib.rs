@@ -23,14 +23,29 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// True when the harness was invoked with `--test`: each benchmark body
+/// runs exactly once and timing is skipped, mirroring real criterion's
+/// `cargo bench -- --test` smoke mode (used by CI to catch bench-code
+/// regressions without paying for measurements).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Benchmark driver handed to `iter` closures.
 pub struct Bencher {
     best_ns_per_iter: f64,
+    smoke: bool,
 }
 
 impl Bencher {
-    /// Times `f`, keeping the best (lowest-overhead) sample.
+    /// Times `f`, keeping the best (lowest-overhead) sample. In `--test`
+    /// smoke mode, runs `f` once without timing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.best_ns_per_iter = 0.0;
+            return;
+        }
         // Warm up and estimate a batch size targeting ~5 ms per sample.
         let t0 = Instant::now();
         black_box(f());
@@ -117,9 +132,14 @@ impl BenchmarkGroup {
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) -> f64 {
     let mut b = Bencher {
         best_ns_per_iter: f64::NAN,
+        smoke: test_mode(),
     };
     f(&mut b);
-    println!("bench {name}: {:.1} ns/iter", b.best_ns_per_iter);
+    if b.smoke {
+        println!("bench {name}: ok (--test smoke mode)");
+    } else {
+        println!("bench {name}: {:.1} ns/iter", b.best_ns_per_iter);
+    }
     b.best_ns_per_iter
 }
 
