@@ -10,7 +10,7 @@ use unison_core::{
 };
 use unison_dram::{DramConfig, DramModel, Op, RowCol};
 use unison_predictors::{Footprint, FootprintTable, MissPredictor, WayPredictor};
-use unison_trace::{workloads, WorkloadGen};
+use unison_trace::{workloads, TraceArtifact, WorkloadGen};
 
 fn bench_predictors(c: &mut Criterion) {
     let mut g = c.benchmark_group("predictors");
@@ -212,9 +212,30 @@ fn bench_caches(c: &mut Criterion) {
 fn bench_tracegen(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace");
     g.throughput(Throughput::Elements(1));
+    // Generate vs replay, per record: the ratio is the headroom the
+    // campaign trace store exploits by freezing each stream once.
     g.bench_function("workload_gen_next", |b| {
         let mut gen = WorkloadGen::new(workloads::tpch().scaled(8), 3);
         b.iter(|| black_box(gen.next()));
+    });
+    g.bench_function("artifact_replay_next", |b| {
+        let artifact = TraceArtifact::freeze(&workloads::tpch().scaled(8), 3, 1_000_000);
+        let mut replay = artifact.replay();
+        b.iter(|| match replay.next() {
+            Some(r) => black_box(Some(r)),
+            None => {
+                replay = artifact.replay(); // wrap around, stay zero-alloc
+                black_box(replay.next())
+            }
+        });
+    });
+    g.bench_function("artifact_freeze_100k", |b| {
+        let spec = workloads::tpch().scaled(8);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(TraceArtifact::freeze(&spec, seed, 100_000))
+        });
     });
     g.finish();
 }

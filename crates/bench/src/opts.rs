@@ -2,8 +2,13 @@
 
 use std::path::PathBuf;
 
-use unison_harness::{sink, Campaign, CampaignResult};
+use unison_harness::{sink, Campaign, CampaignResult, TracePolicy};
 use unison_sim::SimConfig;
+
+/// Environment variable naming the on-disk trace-artifact cache
+/// directory; `--trace-cache PATH` overrides it, `--no-trace-cache`
+/// disables artifact sharing altogether.
+pub const TRACE_CACHE_ENV: &str = "UNISON_TRACE_CACHE";
 
 /// Parsed options for one experiment binary.
 #[derive(Debug, Clone)]
@@ -18,6 +23,12 @@ pub struct BenchOpts {
     pub csv: Option<PathBuf>,
     /// Quick mode: heavily scaled-down smoke run.
     pub quick: bool,
+    /// On-disk trace-artifact cache directory (`--trace-cache`, falling
+    /// back to [`TRACE_CACHE_ENV`]).
+    pub trace_cache: Option<PathBuf>,
+    /// Disables trace-artifact sharing entirely (`--no-trace-cache`):
+    /// every cell regenerates its stream, the pre-artifact behaviour.
+    pub no_trace_cache: bool,
 }
 
 impl Default for BenchOpts {
@@ -28,6 +39,8 @@ impl Default for BenchOpts {
             json: None,
             csv: None,
             quick: false,
+            trace_cache: None,
+            no_trace_cache: false,
         }
     }
 }
@@ -59,6 +72,16 @@ impl BenchOpts {
     ///
     /// Panics with a usage message on malformed shared-flag values.
     pub fn parse_known<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        Self::parse_known_with_env(args, std::env::var(TRACE_CACHE_ENV).ok())
+    }
+
+    /// [`Self::parse_known`] with the [`TRACE_CACHE_ENV`] value passed
+    /// explicitly (the testable core — tests must not mutate process
+    /// environment shared with concurrently running tests).
+    pub fn parse_known_with_env<I: IntoIterator<Item = String>>(
+        args: I,
+        env_trace_cache: Option<String>,
+    ) -> (Self, Vec<String>) {
         let args: Vec<String> = args.into_iter().collect();
         let mut opts = BenchOpts::default();
         // Apply --quick's base config *before* the flag loop so explicit
@@ -98,10 +121,17 @@ impl BenchOpts {
                 }
                 "--json" => opts.json = Some(PathBuf::from(grab("--json"))),
                 "--csv" => opts.csv = Some(PathBuf::from(grab("--csv"))),
+                "--trace-cache" => {
+                    opts.trace_cache = Some(PathBuf::from(grab("--trace-cache")));
+                }
+                "--no-trace-cache" => opts.no_trace_cache = true,
                 "--quick" => {} // already applied before the loop
                 "--help" | "-h" => usage(""),
                 other => leftover.push(other.to_string()),
             }
+        }
+        if opts.trace_cache.is_none() && !opts.no_trace_cache {
+            opts.trace_cache = env_trace_cache.map(PathBuf::from);
         }
         if opts.cfg.scale == 0 {
             usage("--scale must be positive");
@@ -112,6 +142,18 @@ impl BenchOpts {
         (opts, leftover)
     }
 
+    /// The trace-sourcing policy these options select: disabled, shared
+    /// in-memory, or shared + persisted to the cache directory.
+    pub fn trace_policy(&self) -> TracePolicy {
+        if self.no_trace_cache {
+            TracePolicy::Generate
+        } else if let Some(dir) = &self.trace_cache {
+            TracePolicy::Disk(dir.clone())
+        } else {
+            TracePolicy::Memoize
+        }
+    }
+
     /// Builds the experiment [`Campaign`] for these options: the shared
     /// `SimConfig`, the requested pool width, and progress streaming (off
     /// in `--quick` smoke runs to keep bench output clean).
@@ -119,6 +161,7 @@ impl BenchOpts {
         Campaign::new(self.cfg)
             .threads(self.threads)
             .progress(!self.quick)
+            .traces(self.trace_policy())
     }
 
     /// Prints the standard experiment header (system configuration per
@@ -159,8 +202,13 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale N] [--accesses N] [--seed N] [--threads N] [--json PATH] [--csv PATH] [--quick]"
+        "usage: <bin> [--scale N] [--accesses N] [--seed N] [--threads N] [--json PATH] [--csv PATH] \
+         [--trace-cache DIR] [--no-trace-cache] [--quick]"
     );
+    eprintln!(
+        "  --trace-cache DIR   persist frozen trace artifacts in DIR (default: $UNISON_TRACE_CACHE)"
+    );
+    eprintln!("  --no-trace-cache    regenerate traces per cell (no artifact sharing)");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -217,6 +265,53 @@ mod tests {
             assert_eq!(o.cfg.seed, 7, "order {order:?} dropped --seed");
             assert_eq!(o.cfg.scale, SimConfig::quick_test().scale);
         }
+    }
+
+    #[test]
+    fn trace_cache_flag_env_and_opt_out() {
+        // Flag wins.
+        let (o, _) = BenchOpts::parse_known_with_env(
+            ["--trace-cache", "/tmp/tc"].iter().map(|s| s.to_string()),
+            Some("/tmp/from-env".to_string()),
+        );
+        assert_eq!(
+            o.trace_cache.as_deref(),
+            Some(std::path::Path::new("/tmp/tc"))
+        );
+        assert_eq!(
+            o.trace_policy(),
+            TracePolicy::Disk(PathBuf::from("/tmp/tc"))
+        );
+
+        // Env fallback.
+        let (o, _) = BenchOpts::parse_known_with_env(
+            Vec::<String>::new(),
+            Some("/tmp/from-env".to_string()),
+        );
+        assert_eq!(
+            o.trace_policy(),
+            TracePolicy::Disk(PathBuf::from("/tmp/from-env"))
+        );
+
+        // No dir anywhere: in-memory sharing.
+        let (o, _) = BenchOpts::parse_known_with_env(Vec::<String>::new(), None);
+        assert_eq!(o.trace_policy(), TracePolicy::Memoize);
+
+        // Opt-out beats both flag-less env and an explicit dir.
+        let (o, _) = BenchOpts::parse_known_with_env(
+            ["--no-trace-cache"].iter().map(|s| s.to_string()),
+            Some("/tmp/from-env".to_string()),
+        );
+        assert!(o.no_trace_cache);
+        assert_eq!(o.trace_cache, None);
+        assert_eq!(o.trace_policy(), TracePolicy::Generate);
+        let (o, _) = BenchOpts::parse_known_with_env(
+            ["--no-trace-cache", "--trace-cache", "/tmp/tc"]
+                .iter()
+                .map(|s| s.to_string()),
+            None,
+        );
+        assert_eq!(o.trace_policy(), TracePolicy::Generate);
     }
 
     #[test]

@@ -11,8 +11,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use unison_sim::{run_baseline, RunResult, SimConfig};
+use unison_sim::{
+    run_baseline, run_experiment_with_source, Design, RunResult, SimConfig, TraceSource,
+};
 use unison_trace::WorkloadSpec;
+
+use crate::trace_store::TraceStore;
 
 /// Memo key: (serialized workload spec, trace seed).
 type BaselineKey = (String, u64);
@@ -22,6 +26,7 @@ type BaselineKey = (String, u64);
 /// name but differ in parameters get distinct baselines.
 pub struct BaselineStore {
     cfg: SimConfig,
+    traces: Option<Arc<TraceStore>>,
     cells: Mutex<HashMap<BaselineKey, Arc<OnceLock<RunResult>>>>,
     computed: AtomicUsize,
     hits: AtomicUsize,
@@ -33,10 +38,19 @@ impl BaselineStore {
     pub fn new(cfg: SimConfig) -> Self {
         BaselineStore {
             cfg,
+            traces: None,
             cells: Mutex::new(HashMap::new()),
             computed: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Routes baseline simulations through `traces`: the NoCache run
+    /// replays the workload's shared frozen artifact instead of
+    /// regenerating the stream (bit-identical either way).
+    pub fn with_traces(mut self, traces: Arc<TraceStore>) -> Self {
+        self.traces = Some(traces);
+        self
     }
 
     /// Returns the baseline run for `(spec, seed)`, simulating it on
@@ -62,7 +76,20 @@ impl BaselineStore {
             self.computed.fetch_add(1, Ordering::Relaxed);
             let mut cfg = self.cfg;
             cfg.seed = seed;
-            run_baseline(spec, &cfg)
+            match &self.traces {
+                Some(traces) => {
+                    let plan = cfg.trace_plan(spec, 0);
+                    let artifact = traces.get(&plan.scaled_spec, seed, plan.frozen_len);
+                    run_experiment_with_source(
+                        Design::NoCache,
+                        0,
+                        spec,
+                        &cfg,
+                        TraceSource::Replay(&artifact),
+                    )
+                }
+                None => run_baseline(spec, &cfg),
+            }
         });
         if !ran_here {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -123,5 +150,22 @@ mod tests {
         let b = store.get(&spec, 2);
         assert_eq!(store.computed_runs(), 2);
         assert_ne!(a.elapsed_ps, b.elapsed_ps);
+    }
+
+    #[test]
+    fn replayed_baseline_equals_live_baseline() {
+        let cfg = SimConfig::quick_test();
+        let spec = workloads::web_search();
+        let live = BaselineStore::new(cfg).get(&spec, 42);
+
+        let traces = Arc::new(crate::TraceStore::new());
+        let store = BaselineStore::new(cfg).with_traces(Arc::clone(&traces));
+        let replayed = store.get(&spec, 42);
+        assert_eq!(traces.generated_traces(), 1, "baseline froze the trace");
+        assert_eq!(
+            serde_json::to_string(&live).unwrap(),
+            serde_json::to_string(&replayed).unwrap(),
+            "replayed baseline must be bit-identical to live generation"
+        );
     }
 }

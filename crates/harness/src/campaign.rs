@@ -1,14 +1,22 @@
 //! Campaign execution: grid → worker pool → typed results.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use serde::Serialize;
-use unison_sim::{run_experiment, run_speedup_with_baseline, Design, RunResult, SimConfig};
+use unison_sim::{
+    run_experiment_with_source, run_speedup_with_baseline_source, Design, RunResult, SimConfig,
+    TraceSource,
+};
+use unison_trace::WorkloadSpec;
 
 use crate::baseline::BaselineStore;
 use crate::grid::{Cell, ExperimentGrid};
 use crate::pool::{self, parallel_map};
 use crate::stats::geomean;
+use crate::trace_store::TraceStore;
 
 /// One executed cell: the simulation outcome plus the seed it ran under
 /// and (for speedup campaigns) its speedup over the memoized NoCache
@@ -50,6 +58,13 @@ pub struct CampaignResult {
     pub baseline_runs: usize,
     /// Baseline requests served from the memo cache.
     pub baseline_hits: usize,
+    /// Trace artifacts generated (0 when trace sharing is disabled or
+    /// everything came from the disk cache).
+    pub trace_generated: usize,
+    /// Trace requests served from the in-memory artifact memo.
+    pub trace_memo_hits: usize,
+    /// Trace requests served from the on-disk artifact cache.
+    pub trace_disk_hits: usize,
 }
 
 impl CampaignResult {
@@ -98,12 +113,29 @@ impl CampaignResult {
     }
 }
 
+/// How a campaign sources its trace record streams.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Regenerate the stream per cell with `WorkloadGen` (the historical
+    /// behaviour; no artifact memory footprint).
+    Generate,
+    /// Freeze each `(workload, seed)` stream once per campaign and
+    /// replay it from a shared in-memory artifact (bit-identical to
+    /// generation; the default).
+    #[default]
+    Memoize,
+    /// [`TracePolicy::Memoize`] plus an on-disk artifact cache, so
+    /// repeated campaign invocations skip generation entirely.
+    Disk(PathBuf),
+}
+
 /// Executes [`ExperimentGrid`]s on a worker pool under one [`SimConfig`].
 #[derive(Debug, Clone)]
 pub struct Campaign {
     cfg: SimConfig,
     threads: usize,
     progress: bool,
+    traces: TracePolicy,
 }
 
 impl Campaign {
@@ -114,6 +146,7 @@ impl Campaign {
             cfg,
             threads: pool::default_threads(),
             progress: false,
+            traces: TracePolicy::default(),
         }
     }
 
@@ -130,6 +163,14 @@ impl Campaign {
         self
     }
 
+    /// Sets the trace-sourcing policy (default:
+    /// [`TracePolicy::Memoize`] — freeze each workload's stream once and
+    /// replay it for every cell).
+    pub fn traces(mut self, policy: TracePolicy) -> Self {
+        self.traces = policy;
+        self
+    }
+
     /// The simulation configuration cells run under.
     pub fn cfg(&self) -> &SimConfig {
         &self.cfg
@@ -137,7 +178,7 @@ impl Campaign {
 
     /// Runs every cell of `grid`; no baselines, `speedup` is `None`.
     pub fn run(&self, grid: &ExperimentGrid) -> CampaignResult {
-        self.execute(grid, None)
+        self.execute(grid, false)
     }
 
     /// Runs every cell of `grid` and computes each cell's speedup over
@@ -145,19 +186,55 @@ impl Campaign {
     /// simulation per `(workload, seed)` in the whole campaign, prefilled
     /// in parallel before the design cells run.
     pub fn run_speedups(&self, grid: &ExperimentGrid) -> CampaignResult {
-        let store = BaselineStore::new(self.cfg);
-        let keys = grid.baseline_keys(self.cfg.seed);
+        self.execute(grid, true)
+    }
+
+    /// Builds the shared trace store for this campaign's policy.
+    fn trace_store(&self) -> Option<Arc<TraceStore>> {
+        match &self.traces {
+            TracePolicy::Generate => None,
+            TracePolicy::Memoize => Some(Arc::new(TraceStore::new())),
+            TracePolicy::Disk(dir) => Some(Arc::new(TraceStore::new().with_dir(dir))),
+        }
+    }
+
+    /// Freezes every `(workload, seed)` artifact the grid will replay, in
+    /// parallel, each at the **maximum** length any of its cells (and the
+    /// baseline, when speedups run) requires — so the per-key grow-on-
+    /// demand path never regenerates mid-campaign.
+    fn prefill_traces(&self, traces: &TraceStore, cells: &[Cell], with_baselines: bool) {
+        let mut plans: HashMap<(String, u64), (WorkloadSpec, u64)> = HashMap::new();
+        for cell in cells {
+            let plan = self.cfg.trace_plan(&cell.workload, cell.cache_bytes);
+            let needed = if with_baselines {
+                // The baseline runs at cache size 0; its trace is never
+                // longer than a design cell's, but take the max anyway
+                // rather than encode that reasoning here.
+                plan.frozen_len
+                    .max(self.cfg.trace_plan(&cell.workload, 0).frozen_len)
+            } else {
+                plan.frozen_len
+            };
+            let json = serde_json::to_string(&plan.scaled_spec).expect("workload spec serializes");
+            let entry = plans
+                .entry((json, cell.seed))
+                .or_insert_with(|| (plan.scaled_spec.clone(), 0));
+            entry.1 = entry.1.max(needed);
+        }
+        let work: Vec<(WorkloadSpec, u64, u64)> = plans
+            .into_iter()
+            .map(|((_, seed), (spec, len))| (spec, seed, len))
+            .collect();
         if self.progress {
             eprintln!(
-                "[harness] prefilling {} baseline(s) on {} thread(s)",
-                keys.len(),
+                "[harness] freezing {} trace artifact(s) on {} thread(s)",
+                work.len(),
                 self.threads
             );
         }
-        parallel_map(&keys, self.threads, |(spec, seed)| {
-            store.get(spec, *seed);
+        parallel_map(&work, self.threads, |(spec, seed, len)| {
+            traces.get(spec, *seed, *len);
         });
-        self.execute(grid, Some(&store))
     }
 
     /// Generic order-preserving parallel map on this campaign's pool —
@@ -173,12 +250,37 @@ impl Campaign {
         parallel_map(items, self.threads, f)
     }
 
-    fn execute(&self, grid: &ExperimentGrid, store: Option<&BaselineStore>) -> CampaignResult {
+    fn execute(&self, grid: &ExperimentGrid, speedups: bool) -> CampaignResult {
         let cells = grid.cells(self.cfg.seed);
+        let traces = self.trace_store();
+        if let Some(traces) = &traces {
+            self.prefill_traces(traces, &cells, speedups);
+        }
+        let store = speedups.then(|| {
+            let mut store = BaselineStore::new(self.cfg);
+            if let Some(traces) = &traces {
+                store = store.with_traces(Arc::clone(traces));
+            }
+            store
+        });
+        if let Some(store) = &store {
+            let keys = grid.baseline_keys(self.cfg.seed);
+            if self.progress {
+                eprintln!(
+                    "[harness] prefilling {} baseline(s) on {} thread(s)",
+                    keys.len(),
+                    self.threads
+                );
+            }
+            parallel_map(&keys, self.threads, |(spec, seed)| {
+                store.get(spec, *seed);
+            });
+        }
+
         let total = cells.len();
         let done = AtomicUsize::new(0);
         let results = parallel_map(&cells, self.threads, |cell| {
-            let r = self.run_cell(cell, store);
+            let r = self.run_cell(cell, store.as_ref(), traces.as_deref());
             if self.progress {
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
@@ -193,14 +295,32 @@ impl Campaign {
         });
         CampaignResult {
             cells: results,
-            baseline_runs: store.map_or(0, BaselineStore::computed_runs),
-            baseline_hits: store.map_or(0, BaselineStore::cache_hits),
+            baseline_runs: store.as_ref().map_or(0, BaselineStore::computed_runs),
+            baseline_hits: store.as_ref().map_or(0, BaselineStore::cache_hits),
+            trace_generated: traces.as_ref().map_or(0, |t| t.generated_traces()),
+            trace_memo_hits: traces.as_ref().map_or(0, |t| t.memo_hits()),
+            trace_disk_hits: traces.as_ref().map_or(0, |t| t.disk_hits()),
         }
     }
 
-    fn run_cell(&self, cell: &Cell, store: Option<&BaselineStore>) -> CellResult {
+    fn run_cell(
+        &self,
+        cell: &Cell,
+        store: Option<&BaselineStore>,
+        traces: Option<&TraceStore>,
+    ) -> CellResult {
         let mut cfg = self.cfg;
         cfg.seed = cell.seed;
+        // The shared artifact for this cell's (workload, seed), when trace
+        // sharing is on. Held across the run; clones of the Arc are O(1)
+        // and the payload is never copied.
+        let artifact = traces.map(|t| {
+            let plan = cfg.trace_plan(&cell.workload, cell.cache_bytes);
+            t.get(&plan.scaled_spec, cell.seed, plan.frozen_len)
+        });
+        let source = artifact
+            .as_ref()
+            .map_or(TraceSource::Live, |a| TraceSource::Replay(a));
         match store {
             Some(store) => {
                 let base = store.get(&cell.workload, cell.seed);
@@ -216,12 +336,13 @@ impl Campaign {
                         run,
                     }
                 } else {
-                    let s = run_speedup_with_baseline(
+                    let s = run_speedup_with_baseline_source(
                         cell.design,
                         cell.cache_bytes,
                         &cell.workload,
                         &cfg,
                         &base,
+                        source,
                     );
                     CellResult {
                         seed: cell.seed,
@@ -233,7 +354,13 @@ impl Campaign {
             None => CellResult {
                 seed: cell.seed,
                 speedup: None,
-                run: run_experiment(cell.design, cell.cache_bytes, &cell.workload, &cfg),
+                run: run_experiment_with_source(
+                    cell.design,
+                    cell.cache_bytes,
+                    &cell.workload,
+                    &cfg,
+                    source,
+                ),
             },
         }
     }
@@ -286,6 +413,68 @@ mod tests {
         assert_eq!(r.speedups("Ideal", 256 << 20).len(), 2);
         assert!(r.geomean_speedup("Ideal", 256 << 20).unwrap() > 1.0);
         assert!(r.get("Web Search", "Alloy", 256 << 20).is_none());
+    }
+
+    #[test]
+    fn trace_memoization_is_bit_identical_to_regeneration() {
+        let grid = tiny_grid();
+        let generated = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .traces(TracePolicy::Generate)
+            .run_speedups(&grid);
+        let memoized = Campaign::new(SimConfig::quick_test())
+            .threads(2)
+            .traces(TracePolicy::Memoize)
+            .run_speedups(&grid);
+        assert_eq!(
+            serde_json::to_string(&generated.cells).unwrap(),
+            serde_json::to_string(&memoized.cells).unwrap(),
+            "replayed campaign diverged from regenerating campaign"
+        );
+        assert_eq!(generated.trace_generated, 0);
+        // Two (workload, seed) streams, frozen exactly once each.
+        assert_eq!(memoized.trace_generated, 2);
+        assert!(
+            memoized.trace_memo_hits >= 4,
+            "every cell and baseline replays the shared artifact, got {}",
+            memoized.trace_memo_hits
+        );
+    }
+
+    #[test]
+    fn disk_policy_survives_campaign_invocations() {
+        let dir = std::env::temp_dir().join(format!(
+            "unison-campaign-trace-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = ExperimentGrid::new()
+            .designs([Design::Ideal])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20]);
+
+        let first = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .traces(TracePolicy::Disk(dir.clone()))
+            .run_speedups(&grid);
+        assert_eq!(first.trace_generated, 1);
+        assert_eq!(first.trace_disk_hits, 0);
+
+        let second = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .traces(TracePolicy::Disk(dir.clone()))
+            .run_speedups(&grid);
+        assert_eq!(
+            second.trace_generated, 0,
+            "second invocation loads from disk"
+        );
+        assert_eq!(second.trace_disk_hits, 1);
+        assert_eq!(
+            serde_json::to_string(&first.cells).unwrap(),
+            serde_json::to_string(&second.cells).unwrap()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   order, so parallelism never changes output).
 //! * [`BaselineStore`] — NoCache baselines are computed **once** per
 //!   (workload, seed) and shared by every speedup in the campaign.
+//! * [`TraceStore`] — each (workload, seed) record stream is frozen
+//!   **once** as a `unison_trace::TraceArtifact` and replayed zero-copy
+//!   by every cell (bit-identical to live generation), optionally
+//!   persisted to a disk cache so repeated invocations skip generation
+//!   entirely. Opt out per campaign with
+//!   [`Campaign::traces`]`(`[`TracePolicy::Generate`]`)`.
 //! * [`CampaignResult`] — typed result set with lookup helpers,
 //!   [`stats::geomean`] reductions, and JSON/CSV sinks ([`sink`]).
 //!
@@ -46,7 +52,9 @@ mod grid;
 pub mod pool;
 pub mod sink;
 pub mod stats;
+mod trace_store;
 
 pub use baseline::BaselineStore;
-pub use campaign::{Campaign, CampaignResult, CellResult};
+pub use campaign::{Campaign, CampaignResult, CellResult, TracePolicy};
 pub use grid::{Cell, ExperimentGrid};
+pub use trace_store::TraceStore;

@@ -5,16 +5,36 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Deref;
+use std::sync::Arc;
 
-/// An immutable byte buffer (cheap to clone in the real crate; here a
-/// plain `Vec`, which is fine for artifact-sized traces).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Bytes(Vec<u8>);
+/// An immutable, reference-counted byte buffer. Like the real crate,
+/// `clone` is O(1) and shares the underlying storage — trace artifacts
+/// held by many campaign cells never copy their payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
 
 impl Bytes {
     /// Copies the buffer into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.clone()
+        self.0.to_vec()
+    }
+
+    /// True when two handles share the same underlying storage (a
+    /// zero-copy clone rather than an equal-content copy).
+    pub fn shares_storage_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes(Arc::from(Vec::new()))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
     }
 }
 
@@ -44,7 +64,7 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes(self.0)
+        Bytes::from(self.0)
     }
 
     /// Current length in bytes.
@@ -172,5 +192,20 @@ mod tests {
         b.put_u8(1);
         b.put_u8(2);
         assert_eq!(b.freeze().to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let mut b = BytesMut::default();
+        b.put_slice(&[1, 2, 3]);
+        let a = b.freeze();
+        let c = a.clone();
+        assert!(a.shares_storage_with(&c), "clone must share storage");
+        let d = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(a, d);
+        assert!(
+            !a.shares_storage_with(&d),
+            "equal content, distinct storage"
+        );
     }
 }

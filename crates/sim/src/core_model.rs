@@ -56,10 +56,28 @@ pub struct CoreClock {
 impl CoreClock {
     /// Advances past `igap` instructions of compute, returning the issue
     /// time of the access that follows.
+    ///
+    /// The dispatch loop's hot path uses [`Self::advance_compute_to`]
+    /// with the value it already computed for its heap key; this method
+    /// remains the semantic definition (and the reference loop in
+    /// `system.rs`'s tests drives it directly).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn advance_compute(&mut self, params: &CoreParams, igap: u64) -> Ps {
         self.time_ps += params.compute_ps(igap);
         self.instructions += igap;
         self.time_ps
+    }
+
+    /// [`Self::advance_compute`] when the issue time has already been
+    /// computed (`issue_ps` must equal
+    /// `self.time_ps + params.compute_ps(igap)`): the dispatch loop keys
+    /// its heap on exactly that value, so consuming the record can reuse
+    /// it instead of paying the float division again.
+    pub fn advance_compute_to(&mut self, issue_ps: Ps, igap: u64) -> Ps {
+        debug_assert!(issue_ps >= self.time_ps);
+        self.time_ps = issue_ps;
+        self.instructions += igap;
+        issue_ps
     }
 
     /// Applies the stall of a load whose data arrives at `ready_ps`,

@@ -41,7 +41,8 @@ mod system;
 pub use core_model::CoreParams;
 pub use metrics::RunResult;
 pub use runner::{
-    run_baseline, run_experiment, run_speedup, run_speedup_with_baseline, Design, SimConfig,
-    SpeedupResult,
+    replay_lookahead, run_baseline, run_experiment, run_experiment_with_source, run_speedup,
+    run_speedup_with_baseline, run_speedup_with_baseline_source, Design, SimConfig, SpeedupResult,
+    TracePlan, TraceSource,
 };
 pub use system::System;

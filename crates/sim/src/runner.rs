@@ -5,7 +5,7 @@ use unison_core::{
     AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache, MemPorts,
     NoCache, UnisonCache, UnisonConfig,
 };
-use unison_trace::{WorkloadGen, WorkloadSpec};
+use unison_trace::{artifact_key, TraceArtifact, TraceRecord, WorkloadGen, WorkloadSpec};
 
 use crate::core_model::CoreParams;
 use crate::metrics::RunResult;
@@ -166,6 +166,126 @@ impl SimConfig {
     pub fn accesses_for(&self, scaled_bytes: u64) -> u64 {
         self.accesses.max(3 * scaled_bytes / 64)
     }
+
+    /// The trace a run of nominal `cache_bytes` over `spec` requires —
+    /// the **single source of truth** both for [`run_experiment`]'s live
+    /// generation and for trace-artifact stores deciding what to freeze.
+    pub fn trace_plan(&self, spec: &WorkloadSpec, cache_bytes: u64) -> TracePlan {
+        let scaled_spec = spec.clone().scaled(self.scale);
+        let total = self.accesses_for(self.scaled_cache_bytes(cache_bytes));
+        TracePlan {
+            scaled_spec,
+            total,
+            frozen_len: total + replay_lookahead(total),
+        }
+    }
+}
+
+/// Read-ahead margin frozen into artifacts beyond the consumed total.
+///
+/// The dispatch loop pulls records past the ones it consumes: refilling
+/// one core's buffer stashes records for other cores, and whatever is
+/// buffered when the warmup call returns is dropped at the measurement
+/// boundary — while still advancing the stream position. Live generation
+/// is infinite so this is invisible; a frozen artifact must cover the
+/// overshoot or replay runs dry near the end.
+///
+/// The overshoot is how far the per-core *stream* positions skew, which
+/// tracks how far the core *clocks* skew: a core stuck in a stall-heavy
+/// phase consumes slowly in issue-time order while round-robin refills
+/// keep buffering the fast cores — observed at ~0.2% of a 9 M-record
+/// TPC-H run. The margin is a 16 Ki floor plus 1/32nd of the consumed
+/// total (~15× the observed skew). It is a *provisioning* knob, not a
+/// correctness bound: replay falls back to generating the tail live if
+/// the margin is ever exceeded (bit-identical either way; see
+/// [`TraceSource::Replay`]).
+pub fn replay_lookahead(total: u64) -> u64 {
+    16_384 + total / 32
+}
+
+/// The trace requirements of one experiment run (see
+/// [`SimConfig::trace_plan`]).
+#[derive(Debug, Clone)]
+pub struct TracePlan {
+    /// The workload spec the generator actually runs with (footprint
+    /// scaled down by `cfg.scale`).
+    pub scaled_spec: WorkloadSpec,
+    /// Records the run consumes (warmup + measurement).
+    pub total: u64,
+    /// Records an artifact should hold to replay the run without
+    /// touching the generator: [`Self::total`] plus
+    /// [`replay_lookahead`].
+    pub frozen_len: u64,
+}
+
+/// Where [`run_experiment_with_source`] gets its record stream.
+///
+/// Both variants produce **bit-identical** results: a replayed artifact
+/// frozen from the run's `(scaled spec, seed)` yields exactly the stream
+/// live generation would (pinned by the golden fixtures and
+/// `tests/trace_artifacts.rs`). Replay skips the per-record RNG/Zipf
+/// synthesis cost, which is what makes multi-design campaigns over a
+/// shared workload fast.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceSource<'a> {
+    /// Generate the stream live with [`WorkloadGen`] (the historical
+    /// behaviour; always available).
+    Live,
+    /// Replay a frozen [`TraceArtifact`]. Must have been frozen from the
+    /// run's scaled spec and seed (asserted — a mismatched artifact
+    /// would silently simulate the wrong workload) and at least cover
+    /// the planned `frozen_len` (asserted — stores must provision the
+    /// read-ahead margin). Should the dispatch loop's read-ahead ever
+    /// exceed even that margin, the stream continues with lazily
+    /// generated live records from the same position, so results stay
+    /// bit-identical in all cases.
+    Replay(&'a TraceArtifact),
+}
+
+/// Replay cursor with a lazy live-generation safety net.
+///
+/// The hot path is one inlined [`unison_trace::TraceReplay`] read plus a
+/// predictable branch. Only if the dispatch loop reads past the frozen
+/// records (its warmup-boundary overshoot exceeded the artifact's
+/// provisioned margin) does the cold path construct a [`WorkloadGen`]
+/// and advance it to the artifact's end position — paying the full
+/// prefix generation cost once, in exchange for results that stay
+/// bit-identical to live generation no matter how large the overshoot.
+struct ReplayWithTail<'a> {
+    replay: unison_trace::TraceReplay<'a>,
+    scaled_spec: &'a WorkloadSpec,
+    seed: u64,
+    /// Records the artifact holds — the stream position the tail
+    /// generator must resume from.
+    frozen: usize,
+    tail: Option<WorkloadGen>,
+}
+
+impl ReplayWithTail<'_> {
+    #[cold]
+    #[inline(never)]
+    fn tail_next(&mut self) -> Option<TraceRecord> {
+        let tail = self.tail.get_or_insert_with(|| {
+            let mut gen = WorkloadGen::new(self.scaled_spec.clone(), self.seed);
+            for _ in 0..self.frozen {
+                gen.next();
+            }
+            gen
+        });
+        tail.next()
+    }
+}
+
+impl Iterator for ReplayWithTail<'_> {
+    type Item = TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        match self.replay.next() {
+            Some(r) => Some(r),
+            None => self.tail_next(),
+        }
+    }
 }
 
 /// Runs one experiment: `design` at nominal `cache_bytes` (scaled per
@@ -178,10 +298,115 @@ pub fn run_experiment(
     spec: &WorkloadSpec,
     cfg: &SimConfig,
 ) -> RunResult {
-    let scaled_spec = spec.clone().scaled(cfg.scale);
+    run_experiment_with_source(design, cache_bytes, spec, cfg, TraceSource::Live)
+}
+
+/// [`run_experiment`] with an explicit record stream: live generation or
+/// zero-copy replay of a frozen artifact (see [`TraceSource`]).
+///
+/// # Panics
+///
+/// Panics if a [`TraceSource::Replay`] artifact was frozen from a
+/// different `(scaled spec, seed)` than this run requires, or is shorter
+/// than the run's trace length — either would silently change results.
+pub fn run_experiment_with_source(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    source: TraceSource<'_>,
+) -> RunResult {
+    let plan = cfg.trace_plan(spec, cache_bytes);
+    match source {
+        TraceSource::Live => {
+            let trace = WorkloadGen::new(plan.scaled_spec, cfg.seed);
+            drive(design, cache_bytes, spec, cfg, trace, plan.total)
+        }
+        TraceSource::Replay(artifact) => {
+            assert_eq!(
+                artifact.key(),
+                artifact_key(&plan.scaled_spec, cfg.seed),
+                "trace artifact was frozen for a different (scaled spec, seed) than \
+                 this run of '{}' (seed {}, scale 1/{}) requires",
+                spec.name,
+                cfg.seed,
+                cfg.scale,
+            );
+            assert!(
+                artifact.len() as u64 >= plan.frozen_len,
+                "trace artifact for '{}' holds {} records but this run plans for {} \
+                 ({} consumed + read-ahead margin); the trace store must freeze \
+                 TracePlan::frozen_len",
+                spec.name,
+                artifact.len(),
+                plan.frozen_len,
+                plan.total,
+            );
+            let trace = ReplayWithTail {
+                replay: artifact.replay(),
+                scaled_spec: &plan.scaled_spec,
+                seed: cfg.seed,
+                frozen: artifact.len(),
+                tail: None,
+            };
+            drive(design, cache_bytes, spec, cfg, trace, plan.total)
+        }
+    }
+}
+
+/// The shared experiment body: both arms of [`run_experiment_with_source`]
+/// monomorphize through here, so replay pays no dynamic dispatch on the
+/// per-record path.
+///
+/// `Ideal` and `NoCache` additionally run on **concrete** cache types
+/// rather than `Box<dyn DramCacheModel>`: their access paths are a few
+/// tens of nanoseconds, so devirtualizing (and letting the access inline
+/// into the dispatch loop) is a measurable win — and it is exactly these
+/// cheap designs whose campaigns are trace-generation-bound. The heavy
+/// designs keep the boxed path, where one indirect call is noise.
+fn drive<I: Iterator<Item = TraceRecord>>(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    trace: I,
+    total: u64,
+) -> RunResult {
     let scaled_cache = cfg.scaled_cache_bytes(cache_bytes);
-    let mut trace = WorkloadGen::new(scaled_spec, cfg.seed);
-    let cache = design.build_scaled(scaled_cache, cache_bytes.max(1));
+    match design {
+        Design::Ideal => drive_cache(
+            IdealCache::new(scaled_cache),
+            design,
+            cache_bytes,
+            spec,
+            cfg,
+            trace,
+            total,
+        ),
+        Design::NoCache => {
+            drive_cache(NoCache::new(), design, cache_bytes, spec, cfg, trace, total)
+        }
+        _ => drive_cache(
+            design.build_scaled(scaled_cache, cache_bytes.max(1)),
+            design,
+            cache_bytes,
+            spec,
+            cfg,
+            trace,
+            total,
+        ),
+    }
+}
+
+fn drive_cache<C: DramCacheModel, I: Iterator<Item = TraceRecord>>(
+    cache: C,
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    mut trace: I,
+    total: u64,
+) -> RunResult {
     let mut sys = System::new(
         spec.cores as usize,
         cache,
@@ -189,12 +414,27 @@ pub fn run_experiment(
         cfg.core,
     );
 
-    let total = cfg.accesses_for(scaled_cache);
     let warmup = (total as f64 * cfg.warmup_fraction) as u64;
-    sys.run(&mut trace, warmup);
+    let warmed = sys.run(&mut trace, warmup);
+    // Both live generation and artifact replay present effectively
+    // infinite streams (replay chains into lazy generation past the
+    // frozen margin), so both phases must always run to their full
+    // budget; a shortfall means a genuinely finite source, which would
+    // otherwise *silently* skew the measurement.
+    assert_eq!(
+        warmed, warmup,
+        "trace for '{}' ran dry during warmup ({warmed} of {warmup} records)",
+        spec.name,
+    );
     let before = sys.progress();
     sys.reset_measurement();
     let measured = sys.run(&mut trace, total - warmup);
+    assert_eq!(
+        measured,
+        total - warmup,
+        "trace for '{}' ran dry during measurement",
+        spec.name,
+    );
     let after = sys.progress();
 
     let instructions = after.instructions - before.instructions;
@@ -248,7 +488,35 @@ pub fn run_speedup_with_baseline(
     cfg: &SimConfig,
     baseline: &RunResult,
 ) -> SpeedupResult {
-    let run = run_experiment(design, cache_bytes, spec, cfg);
+    run_speedup_with_baseline_source(design, cache_bytes, spec, cfg, baseline, TraceSource::Live)
+}
+
+/// [`run_speedup_with_baseline`] with an explicit [`TraceSource`] — the
+/// entry point campaigns use to replay a shared frozen trace.
+///
+/// # Panics
+///
+/// Panics if `baseline.uipc` is zero, negative, or non-finite: dividing
+/// by a degenerate baseline would silently turn every speedup into
+/// `inf`/`NaN` and poison downstream geomeans. A NoCache run that retires
+/// no instructions indicates a broken trace or configuration and must be
+/// surfaced, not averaged away.
+pub fn run_speedup_with_baseline_source(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    baseline: &RunResult,
+    source: TraceSource<'_>,
+) -> SpeedupResult {
+    assert!(
+        baseline.uipc.is_finite() && baseline.uipc > 0.0,
+        "degenerate NoCache baseline for '{}' (uipc = {}): speedups against it would be \
+         inf/NaN; check the baseline run (zero measured instructions? empty trace?)",
+        baseline.workload,
+        baseline.uipc,
+    );
+    let run = run_experiment_with_source(design, cache_bytes, spec, cfg, source);
     SpeedupResult {
         speedup: run.uipc / baseline.uipc,
         run,
@@ -347,5 +615,142 @@ mod tests {
     fn scaled_cache_sizes_have_floor() {
         let cfg = SimConfig::quick_test();
         assert_eq!(cfg.scaled_cache_bytes(64 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn trace_plan_matches_run_experiment_inputs() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::tpch();
+        let plan = cfg.trace_plan(&w, 512 << 20);
+        assert_eq!(plan.scaled_spec, w.clone().scaled(cfg.scale));
+        assert_eq!(
+            plan.total,
+            cfg.accesses_for(cfg.scaled_cache_bytes(512 << 20))
+        );
+        assert_eq!(plan.frozen_len, plan.total + replay_lookahead(plan.total));
+        assert!(
+            plan.frozen_len - plan.total >= 16_384 + plan.total / 32,
+            "margin must scale with the trace length"
+        );
+    }
+
+    /// The read-ahead safety net: an artifact covering the planned
+    /// margin minimally is still bit-identical even if the dispatch
+    /// loop's warmup-boundary drop eats into it — the stream chains
+    /// into lazy live generation at the exact frozen position.
+    #[test]
+    fn replay_tail_fallback_is_bit_identical() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::web_serving();
+        let size = 128 << 20;
+        let plan = cfg.trace_plan(&w, size);
+        // Freeze the bare minimum the assert allows; the boundary drop
+        // then forces the chained generator tail into play for the last
+        // records of the measurement phase on some designs.
+        let minimal =
+            unison_trace::TraceArtifact::freeze(&plan.scaled_spec, cfg.seed, plan.frozen_len);
+        // And a comfortably oversized one that never needs the tail.
+        let oversized = unison_trace::TraceArtifact::freeze(
+            &plan.scaled_spec,
+            cfg.seed,
+            plan.frozen_len + 100_000,
+        );
+        let a = run_experiment_with_source(
+            Design::Alloy,
+            size,
+            &w,
+            &cfg,
+            TraceSource::Replay(&minimal),
+        );
+        let b = run_experiment_with_source(
+            Design::Alloy,
+            size,
+            &w,
+            &cfg,
+            TraceSource::Replay(&oversized),
+        );
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "artifact length above the required minimum must never affect results"
+        );
+    }
+
+    #[test]
+    fn replay_source_is_bit_identical_to_live() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::web_serving();
+        let size = 128 << 20;
+        let plan = cfg.trace_plan(&w, size);
+        let artifact =
+            unison_trace::TraceArtifact::freeze(&plan.scaled_spec, cfg.seed, plan.frozen_len);
+
+        let live = run_experiment(Design::Unison, size, &w, &cfg);
+        let replayed = run_experiment_with_source(
+            Design::Unison,
+            size,
+            &w,
+            &cfg,
+            TraceSource::Replay(&artifact),
+        );
+        assert_eq!(
+            serde_json::to_string(&live).unwrap(),
+            serde_json::to_string(&replayed).unwrap(),
+            "replay must reproduce live generation bit for bit"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different (scaled spec, seed)")]
+    fn replay_rejects_wrong_artifact() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::web_serving();
+        let plan = cfg.trace_plan(&w, 128 << 20);
+        let wrong_seed =
+            unison_trace::TraceArtifact::freeze(&plan.scaled_spec, cfg.seed + 1, plan.frozen_len);
+        let _ = run_experiment_with_source(
+            Design::Unison,
+            128 << 20,
+            &w,
+            &cfg,
+            TraceSource::Replay(&wrong_seed),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "records but this run plans for")]
+    fn replay_rejects_short_artifact() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::web_serving();
+        let plan = cfg.trace_plan(&w, 128 << 20);
+        let short =
+            unison_trace::TraceArtifact::freeze(&plan.scaled_spec, cfg.seed, plan.total / 2);
+        let _ = run_experiment_with_source(
+            Design::Unison,
+            128 << 20,
+            &w,
+            &cfg,
+            TraceSource::Replay(&short),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate NoCache baseline")]
+    fn zero_uipc_baseline_is_rejected() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::data_serving();
+        let mut baseline = run_baseline(&w, &cfg);
+        baseline.uipc = 0.0;
+        let _ = run_speedup_with_baseline(Design::Ideal, 1 << 30, &w, &cfg, &baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate NoCache baseline")]
+    fn non_finite_baseline_is_rejected() {
+        let cfg = SimConfig::quick_test();
+        let w = workloads::data_serving();
+        let mut baseline = run_baseline(&w, &cfg);
+        baseline.uipc = f64::NAN;
+        let _ = run_speedup_with_baseline(Design::Ideal, 1 << 30, &w, &cfg, &baseline);
     }
 }

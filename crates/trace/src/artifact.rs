@@ -1,0 +1,337 @@
+//! Frozen trace artifacts: content-addressed, shareable, replayable.
+//!
+//! A campaign sweeping N designs × M sizes over one workload replays the
+//! *same* `(spec, seed)` record stream N×M times. Regenerating it per cell
+//! pays the full RNG/Zipf synthesis cost every time; a [`TraceArtifact`]
+//! pays it **once**, freezing the stream through the [`crate::codec`]
+//! binary format, and every subsequent consumer iterates a
+//! [`TraceReplay`] cursor straight off the shared buffer — no decode
+//! `Vec`, no per-record heap allocation, and `Bytes` clones share
+//! storage, so handing an artifact to a worker pool is O(1).
+//!
+//! Artifacts are **content-addressed**: [`artifact_key`] hashes the full
+//! serialized workload spec, the seed, and the codec version into a
+//! stable 64-bit key, so an on-disk cache can tell apart two specs that
+//! share a display name and invalidates itself automatically when the
+//! codec format (and therefore [`crate::codec::VERSION`]) changes.
+//!
+//! Replay is **bit-identical** to live generation: `artifact.replay()`
+//! yields exactly the first `len` records of
+//! `WorkloadGen::new(spec, seed)` (pinned by property tests and the
+//! golden simulation fixtures).
+//!
+//! # Example
+//!
+//! ```
+//! use unison_trace::{workloads, TraceArtifact, WorkloadGen};
+//!
+//! let spec = workloads::web_search().scaled(64);
+//! let artifact = TraceArtifact::freeze(&spec, 7, 1_000);
+//! let live: Vec<_> = WorkloadGen::new(spec, 7).take(1_000).collect();
+//! let replayed: Vec<_> = artifact.replay().collect();
+//! assert_eq!(live, replayed);
+//! ```
+
+use bytes::Bytes;
+
+use crate::codec::{self, DecodeError, HEADER_BYTES, RECORD_BYTES};
+use crate::gen::WorkloadGen;
+use crate::record::{AccessKind, TraceRecord};
+use crate::spec::WorkloadSpec;
+
+/// Version of the **synthesis algorithm** behind `WorkloadGen`.
+///
+/// Bump this whenever a change to the generator stack (`gen.rs`,
+/// `zipf.rs`, `profile.rs`, workload presets) alters the record stream
+/// emitted for an unchanged `(spec, seed)` — the golden simulation
+/// fixtures failing after a trace-crate change is the usual tell. The
+/// value is folded into [`artifact_key`], so persisted artifact caches
+/// from before the change stop being addressed instead of silently
+/// replaying the outdated stream.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// Derives the stable content key for the trace of `(spec, seed)`.
+///
+/// The key is an FNV-1a 64 hash over the codec version, the generator
+/// version ([`GENERATOR_VERSION`]), the full serialized spec (so two
+/// specs sharing a display name but differing in any knob get distinct
+/// keys), and the seed. Trace *length* is deliberately excluded: a
+/// longer freeze of the same `(spec, seed)` is a strict prefix-extension
+/// of a shorter one, so caches keep one artifact per key and grow it on
+/// demand.
+pub fn artifact_key(spec: &WorkloadSpec, seed: u64) -> u64 {
+    let spec_json = serde_json::to_string(spec).expect("workload spec serializes");
+    let mut h = Fnv1a::new();
+    h.write(b"unison-trace-artifact");
+    h.write(&codec::VERSION.to_le_bytes());
+    h.write(&GENERATOR_VERSION.to_le_bytes());
+    h.write(spec_json.as_bytes());
+    h.write(&seed.to_le_bytes());
+    h.finish()
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms
+/// (unlike `DefaultHasher`, whose output is explicitly unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A frozen, immutable trace: the first `len` records of
+/// `WorkloadGen::new(spec, seed)` in codec encoding, plus the content key
+/// that addresses it.
+///
+/// Cloning is cheap (the payload is a shared [`Bytes`] buffer); campaigns
+/// typically share one artifact behind an `Arc` anyway.
+#[derive(Debug, Clone)]
+pub struct TraceArtifact {
+    key: u64,
+    seed: u64,
+    len: usize,
+    bytes: Bytes,
+}
+
+impl TraceArtifact {
+    /// Generates and freezes the first `len` records of
+    /// `WorkloadGen::new(spec, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation (same contract as
+    /// [`WorkloadGen::new`]).
+    pub fn freeze(spec: &WorkloadSpec, seed: u64, len: u64) -> Self {
+        let len = usize::try_from(len).expect("trace length fits in memory");
+        let mut enc = codec::Encoder::with_capacity(len);
+        for r in WorkloadGen::new(spec.clone(), seed).take(len) {
+            enc.push(&r);
+        }
+        TraceArtifact {
+            key: artifact_key(spec, seed),
+            seed,
+            len,
+            bytes: enc.finish(),
+        }
+    }
+
+    /// Rehydrates an artifact from previously persisted bytes (e.g. a
+    /// disk cache), fully validating it: header, version, record
+    /// alignment, **and** every record's kind byte — so [`Self::replay`]
+    /// can iterate infallibly afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] found; corrupted cache files
+    /// should be treated as misses and regenerated.
+    pub fn from_bytes(key: u64, seed: u64, bytes: Bytes) -> Result<Self, DecodeError> {
+        let dec = codec::Decoder::new(&bytes)?;
+        let len = dec.remaining_records();
+        for r in dec {
+            r?;
+        }
+        Ok(TraceArtifact {
+            key,
+            seed,
+            len,
+            bytes,
+        })
+    }
+
+    /// The content key this artifact was frozen under (see
+    /// [`artifact_key`]).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The trace seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of frozen records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the artifact holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoded payload, suitable for persisting verbatim; a clone of
+    /// the returned buffer shares storage with the artifact.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// A zero-allocation replay cursor over the frozen records.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            buf: &self.bytes[HEADER_BYTES..],
+        }
+    }
+}
+
+/// Zero-allocation iterator decoding [`TraceRecord`]s straight off an
+/// artifact's buffer cursor.
+///
+/// Infallible by construction: every byte of the artifact was validated
+/// when the artifact was frozen or rehydrated, so iteration is a straight
+/// fixed-stride read with no error path and no heap traffic.
+#[derive(Debug, Clone)]
+pub struct TraceReplay<'a> {
+    buf: &'a [u8],
+}
+
+impl Iterator for TraceReplay<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let (rec, rest) = self.buf.split_first_chunk::<RECORD_BYTES>()?;
+        self.buf = rest;
+        Some(TraceRecord {
+            core: rec[0],
+            // Validated at freeze/rehydrate time: only 0 or 1 occur.
+            kind: if rec[1] == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            },
+            pc: u64::from_le_bytes(rec[2..10].try_into().expect("8-byte pc field")),
+            addr: u64::from_le_bytes(rec[10..18].try_into().expect("8-byte addr field")),
+            igap: u32::from_le_bytes(rec[18..22].try_into().expect("4-byte igap field")),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.buf.len() / RECORD_BYTES;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceReplay<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn quick_spec() -> WorkloadSpec {
+        workloads::data_serving().scaled(64)
+    }
+
+    #[test]
+    fn replay_equals_live_generation() {
+        let spec = quick_spec();
+        let artifact = TraceArtifact::freeze(&spec, 42, 5_000);
+        assert_eq!(artifact.len(), 5_000);
+        let live: Vec<_> = WorkloadGen::new(spec, 42).take(5_000).collect();
+        let replayed: Vec<_> = artifact.replay().collect();
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn longer_freeze_is_a_prefix_extension() {
+        let spec = quick_spec();
+        let short = TraceArtifact::freeze(&spec, 9, 500);
+        let long = TraceArtifact::freeze(&spec, 9, 2_000);
+        let short_recs: Vec<_> = short.replay().collect();
+        let long_prefix: Vec<_> = long.replay().take(500).collect();
+        assert_eq!(short_recs, long_prefix);
+    }
+
+    #[test]
+    fn key_depends_on_spec_seed_and_version_only() {
+        let spec = quick_spec();
+        assert_eq!(artifact_key(&spec, 1), artifact_key(&spec, 1));
+        assert_ne!(artifact_key(&spec, 1), artifact_key(&spec, 2));
+        let other = workloads::data_serving().scaled(32); // same name, new params
+        assert_ne!(artifact_key(&spec, 1), artifact_key(&other, 1));
+        let a = TraceArtifact::freeze(&spec, 1, 10);
+        let b = TraceArtifact::freeze(&spec, 1, 999);
+        assert_eq!(a.key(), b.key(), "length must not change the key");
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        let spec = quick_spec();
+        let a = TraceArtifact::freeze(&spec, 3, 1_000);
+        let b = TraceArtifact::from_bytes(a.key(), 3, a.bytes().clone()).expect("valid payload");
+        assert_eq!(b.len(), 1_000);
+        assert_eq!(b.seed(), 3);
+        assert!(
+            a.bytes().shares_storage_with(b.bytes()),
+            "rehydration must not copy the payload"
+        );
+        assert_eq!(
+            a.replay().collect::<Vec<_>>(),
+            b.replay().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let spec = quick_spec();
+        let a = TraceArtifact::freeze(&spec, 3, 10);
+        let good = a.bytes().to_vec();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            TraceArtifact::from_bytes(a.key(), 3, bad_magic.into()).err(),
+            Some(DecodeError::BadMagic)
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 99;
+        assert_eq!(
+            TraceArtifact::from_bytes(a.key(), 3, bad_version.into()).err(),
+            Some(DecodeError::BadVersion(99))
+        );
+
+        let truncated = good[..good.len() - 5].to_vec();
+        assert_eq!(
+            TraceArtifact::from_bytes(a.key(), 3, truncated.into()).err(),
+            Some(DecodeError::Truncated)
+        );
+
+        let mut bad_kind = good.clone();
+        bad_kind[HEADER_BYTES + 1] = 7;
+        assert_eq!(
+            TraceArtifact::from_bytes(a.key(), 3, bad_kind.into()).err(),
+            Some(DecodeError::BadKind(7)),
+            "rehydration must validate every record, not just the header"
+        );
+    }
+
+    #[test]
+    fn replay_is_exact_size_and_clonable() {
+        let artifact = TraceArtifact::freeze(&quick_spec(), 5, 100);
+        let mut it = artifact.replay();
+        assert_eq!(it.len(), 100);
+        it.next();
+        assert_eq!(it.len(), 99);
+        let forked = it.clone();
+        assert_eq!(it.collect::<Vec<_>>(), forked.collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_artifact_is_fine() {
+        let artifact = TraceArtifact::freeze(&quick_spec(), 5, 0);
+        assert!(artifact.is_empty());
+        assert_eq!(artifact.replay().count(), 0);
+    }
+}

@@ -13,7 +13,10 @@ pub const MAGIC: &[u8; 8] = b"UNISONTR";
 /// Current format version.
 pub const VERSION: u32 = 1;
 
-const RECORD_BYTES: usize = 1 + 1 + 8 + 8 + 4;
+/// Size of the stream header (magic + version + reserved word).
+pub const HEADER_BYTES: usize = 16;
+/// Size of one encoded record.
+pub const RECORD_BYTES: usize = 1 + 1 + 8 + 8 + 4;
 
 /// Errors produced while decoding a trace stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,21 +58,61 @@ impl std::error::Error for DecodeError {}
 /// # Ok::<(), unison_trace::codec::DecodeError>(())
 /// ```
 pub fn encode(records: &[TraceRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + records.len() * RECORD_BYTES);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(0); // reserved
+    let mut enc = Encoder::with_capacity(records.len());
     for r in records {
-        buf.put_u8(r.core);
-        buf.put_u8(match r.kind {
+        enc.push(r);
+    }
+    enc.finish()
+}
+
+/// Streaming encoder: writes the header up front and appends records one
+/// at a time, so a trace pulled off a generator never has to be
+/// materialized as a `Vec<TraceRecord>` before freezing.
+#[derive(Debug)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an encoder pre-sized for `records` records, with the
+    /// stream header already written.
+    pub fn with_capacity(records: usize) -> Self {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + records * RECORD_BYTES);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(0); // reserved
+        Encoder { buf }
+    }
+
+    /// Appends one record (one contiguous 22-byte write — a single
+    /// capacity check rather than five).
+    pub fn push(&mut self, r: &TraceRecord) {
+        let mut rec = [0u8; RECORD_BYTES];
+        rec[0] = r.core;
+        rec[1] = match r.kind {
             AccessKind::Read => 0,
             AccessKind::Write => 1,
-        });
-        buf.put_u64_le(r.pc);
-        buf.put_u64_le(r.addr);
-        buf.put_u32_le(r.igap);
+        };
+        rec[2..10].copy_from_slice(&r.pc.to_le_bytes());
+        rec[10..18].copy_from_slice(&r.addr.to_le_bytes());
+        rec[18..22].copy_from_slice(&r.igap.to_le_bytes());
+        self.buf.put_slice(&rec);
     }
-    buf.freeze()
+
+    /// Records encoded so far.
+    pub fn len(&self) -> usize {
+        (self.buf.len() - HEADER_BYTES) / RECORD_BYTES
+    }
+
+    /// True when no records have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes the stream into an immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
 }
 
 /// Decodes a buffer produced by [`encode`].
@@ -77,42 +120,95 @@ pub fn encode(records: &[TraceRecord]) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] on any malformed input; never panics.
-pub fn decode(mut buf: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
-    if buf.len() < 16 {
-        return Err(DecodeError::BadMagic);
+pub fn decode(buf: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+    Decoder::new(buf)?.collect()
+}
+
+/// Streaming decoder: validates the header once, then yields records
+/// straight off the buffer cursor without materializing a `Vec`.
+///
+/// The header (magic, version, record alignment) is checked at
+/// construction; per-record corruption (an invalid kind byte) surfaces as
+/// an `Err` item mid-iteration.
+///
+/// # Example
+///
+/// ```
+/// use unison_trace::codec::{encode, Decoder};
+/// use unison_trace::{AccessKind, TraceRecord};
+///
+/// let recs = vec![TraceRecord { core: 0, kind: AccessKind::Write, pc: 1, addr: 64, igap: 3 }];
+/// let bytes = encode(&recs);
+/// let decoded: Result<Vec<_>, _> = Decoder::new(&bytes)?.collect();
+/// assert_eq!(decoded?, recs);
+/// # Ok::<(), unison_trace::codec::DecodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Validates the stream header and record alignment of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadMagic`], [`DecodeError::BadVersion`], or
+    /// [`DecodeError::Truncated`] for a malformed header; never panics.
+    pub fn new(mut buf: &'a [u8]) -> Result<Self, DecodeError> {
+        if buf.len() < HEADER_BYTES || &buf[..8] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        buf.advance(8);
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        buf.advance(4); // reserved
+        if !buf.len().is_multiple_of(RECORD_BYTES) {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(Decoder { buf })
     }
-    if &buf[..8] != MAGIC {
-        return Err(DecodeError::BadMagic);
+
+    /// Records left to decode.
+    pub fn remaining_records(&self) -> usize {
+        self.buf.len() / RECORD_BYTES
     }
-    buf.advance(8);
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    buf.advance(4); // reserved
-    if !buf.len().is_multiple_of(RECORD_BYTES) {
-        return Err(DecodeError::Truncated);
-    }
-    let mut out = Vec::with_capacity(buf.len() / RECORD_BYTES);
-    while buf.has_remaining() {
-        let core = buf.get_u8();
-        let kind = match buf.get_u8() {
+}
+
+impl Iterator for Decoder<'_> {
+    type Item = Result<TraceRecord, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.buf.has_remaining() {
+            return None;
+        }
+        let core = self.buf.get_u8();
+        let kind = match self.buf.get_u8() {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
-            k => return Err(DecodeError::BadKind(k)),
+            k => {
+                self.buf = &[]; // poison: stop after the first bad record
+                return Some(Err(DecodeError::BadKind(k)));
+            }
         };
-        let pc = buf.get_u64_le();
-        let addr = buf.get_u64_le();
-        let igap = buf.get_u32_le();
-        out.push(TraceRecord {
+        let pc = self.buf.get_u64_le();
+        let addr = self.buf.get_u64_le();
+        let igap = self.buf.get_u32_le();
+        Some(Ok(TraceRecord {
             core,
             kind,
             pc,
             addr,
             igap,
-        });
+        }))
     }
-    Ok(out)
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining_records();
+        (n, Some(n))
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +259,63 @@ mod tests {
         let mut b = encode(&recs).to_vec();
         b[17] = 7; // the kind byte of record 0
         assert_eq!(decode(&b), Err(DecodeError::BadKind(7)));
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch_encode() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::data_serving(), 5)
+            .take(2_000)
+            .collect();
+        let mut enc = Encoder::with_capacity(recs.len());
+        assert!(enc.is_empty());
+        for r in &recs {
+            enc.push(r);
+        }
+        assert_eq!(enc.len(), recs.len());
+        assert_eq!(enc.finish().to_vec(), encode(&recs).to_vec());
+    }
+
+    #[test]
+    fn streaming_decoder_matches_batch_decode() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::web_search(), 11)
+            .take(3_000)
+            .collect();
+        let bytes = encode(&recs);
+        let dec = Decoder::new(&bytes).expect("valid header");
+        assert_eq!(dec.remaining_records(), recs.len());
+        assert_eq!(dec.size_hint(), (recs.len(), Some(recs.len())));
+        let streamed: Vec<_> = dec.map(|r| r.expect("valid record")).collect();
+        assert_eq!(streamed, recs);
+    }
+
+    #[test]
+    fn streaming_decoder_rejects_bad_headers() {
+        assert_eq!(
+            Decoder::new(b"NOTATRACE_______").err(),
+            Some(DecodeError::BadMagic)
+        );
+        let mut versioned = encode(&[]).to_vec();
+        versioned[8] = 9;
+        assert_eq!(
+            Decoder::new(&versioned).err(),
+            Some(DecodeError::BadVersion(9))
+        );
+        let recs: Vec<_> = WorkloadGen::new(workloads::tpch(), 1).take(2).collect();
+        let b = encode(&recs).to_vec();
+        assert_eq!(
+            Decoder::new(&b[..b.len() - 3]).err(),
+            Some(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn streaming_decoder_stops_after_bad_kind() {
+        let recs: Vec<_> = WorkloadGen::new(workloads::tpch(), 1).take(3).collect();
+        let mut b = encode(&recs).to_vec();
+        b[HEADER_BYTES + RECORD_BYTES + 1] = 5; // record 1's kind byte
+        let mut dec = Decoder::new(&b).expect("header is intact");
+        assert_eq!(dec.next(), Some(Ok(recs[0])));
+        assert_eq!(dec.next(), Some(Err(DecodeError::BadKind(5))));
+        assert_eq!(dec.next(), None, "decoder poisons itself after an error");
     }
 }

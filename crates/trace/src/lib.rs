@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod codec;
 mod gen;
 mod profile;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod workloads;
 mod zipf;
 
+pub use artifact::{artifact_key, TraceArtifact, TraceReplay};
 pub use gen::WorkloadGen;
 pub use profile::{FunctionProfile, PatternClass, ProfileMix, REGION_BLOCKS, REGION_BYTES};
 pub use record::{AccessKind, TraceRecord, BLOCK_BYTES};

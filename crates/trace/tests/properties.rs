@@ -1,8 +1,8 @@
 //! Property-based tests for the trace layer.
 
 use proptest::prelude::*;
-use unison_trace::codec::{decode, encode};
-use unison_trace::{workloads, AccessKind, TraceRecord, WorkloadGen, Zipf};
+use unison_trace::codec::{decode, encode, Decoder};
+use unison_trace::{workloads, AccessKind, TraceArtifact, TraceRecord, WorkloadGen, Zipf};
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
@@ -38,6 +38,31 @@ proptest! {
     #[test]
     fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
         let _ = decode(&bytes);
+    }
+
+    /// The streaming decoder agrees with the batch decoder on arbitrary
+    /// bytes: same records on success, same first error otherwise.
+    #[test]
+    fn streaming_decode_equals_batch_decode(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let streamed = Decoder::new(&bytes).and_then(Iterator::collect::<Result<Vec<_>, _>>);
+        prop_assert_eq!(streamed, decode(&bytes));
+    }
+
+    /// Replaying a frozen artifact yields the byte-identical record
+    /// stream a fresh `WorkloadGen` produces, for every named workload at
+    /// quick-test scale, for any seed and length.
+    #[test]
+    fn artifact_replay_equals_fresh_generation(seed in any::<u64>(), len in 0u64..800) {
+        for w in workloads::all() {
+            let spec = w.scaled(64);
+            let artifact = TraceArtifact::freeze(&spec, seed, len);
+            let live: Vec<_> = WorkloadGen::new(spec.clone(), seed).take(len as usize).collect();
+            let replayed: Vec<_> = artifact.replay().collect();
+            prop_assert_eq!(&replayed, &live, "workload {} seed {}", spec.name, seed);
+            // And the frozen payload is byte-identical to encoding the
+            // live stream, so artifacts are stable cache currency.
+            prop_assert_eq!(artifact.bytes().to_vec(), encode(&live).to_vec());
+        }
     }
 
     /// Zipf samples always land in range for any parameters.
