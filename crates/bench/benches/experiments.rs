@@ -8,7 +8,7 @@
 //! binaries do, so this also smoke-tests the campaign engine end to end
 //! (parallel workers, memoized baselines).
 
-use unison_harness::{Campaign, ExperimentGrid};
+use unison_harness::{Campaign, ScenarioGrid};
 use unison_sim::{Design, SimConfig};
 use unison_trace::workloads;
 
@@ -65,7 +65,7 @@ fn main() {
 
     // Figure 5 digest: associativity sweep on one workload.
     let w = workloads::web_serving();
-    let assoc_grid = ExperimentGrid::new()
+    let assoc_grid = ScenarioGrid::new()
         .designs([1u32, 4, 32].map(Design::UnisonAssoc))
         .workload(w.clone())
         .sizes([1 << 30]);

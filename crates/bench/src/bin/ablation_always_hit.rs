@@ -14,7 +14,7 @@ use serde::Serialize;
 use unison_bench::shadow::ShadowMissPredictor;
 use unison_bench::table::pct;
 use unison_bench::{table5_size, BenchOpts, Table};
-use unison_core::{DramCacheModel, MemPorts, UnisonCache, UnisonConfig};
+use unison_core::{DramCacheModel, UnisonCache, UnisonConfig};
 use unison_sim::System;
 use unison_trace::{workloads, WorkloadGen, WorkloadSpec};
 
@@ -32,8 +32,17 @@ fn run_cell(opts: &BenchOpts, w: &WorkloadSpec) -> Row {
     let cache = ShadowMissPredictor::new(UnisonCache::new(
         UnisonConfig::new(scaled_cache).with_nominal(nominal),
     ));
-    let mut sys = System::new(16, cache, MemPorts::paper_default(), opts.cfg.core);
-    let mut trace = WorkloadGen::new(w.clone().scaled(opts.cfg.scale), opts.cfg.seed);
+    let sys_spec = opts.cfg.system;
+    let mut sys = System::new(
+        sys_spec.resolved_cores(w) as usize,
+        cache,
+        sys_spec.mem_ports(),
+        sys_spec.core,
+    );
+    let mut trace = WorkloadGen::new(
+        sys_spec.effective_workload(w).scaled(opts.cfg.scale),
+        opts.cfg.seed,
+    );
     let total = opts.cfg.accesses_for(scaled_cache);
     let warm = (total as f64 * opts.cfg.warmup_fraction) as u64;
     sys.run(&mut trace, warm);

@@ -7,13 +7,13 @@
 //!
 //! The cells are custom (a `WayPolicy` is not a [`unison_sim::Design`]),
 //! so they run through the harness's generic parallel map rather than an
-//! [`ExperimentGrid`]: declared up front, executed concurrently, rendered
+//! [`ScenarioGrid`]: declared up front, executed concurrently, rendered
 //! in declaration order.
 
 use serde::Serialize;
 use unison_bench::{BenchOpts, Table};
 use unison_core::unison::WayPolicy;
-use unison_core::{DramCacheModel, MemPorts, UnisonCache, UnisonConfig};
+use unison_core::{DramCacheModel, UnisonCache, UnisonConfig};
 use unison_sim::System;
 use unison_trace::{workloads, WorkloadGen, WorkloadSpec};
 
@@ -39,8 +39,17 @@ fn run_cell(opts: &BenchOpts, w: &WorkloadSpec, policy: WayPolicy, label: &str) 
             .with_way_policy(policy)
             .with_nominal(1 << 30),
     );
-    let mut sys = System::new(16, cache, MemPorts::paper_default(), opts.cfg.core);
-    let mut trace = WorkloadGen::new(w.clone().scaled(opts.cfg.scale), opts.cfg.seed);
+    let sys_spec = opts.cfg.system;
+    let mut sys = System::new(
+        sys_spec.resolved_cores(w) as usize,
+        cache,
+        sys_spec.mem_ports(),
+        sys_spec.core,
+    );
+    let mut trace = WorkloadGen::new(
+        sys_spec.effective_workload(w).scaled(opts.cfg.scale),
+        opts.cfg.seed,
+    );
     let total = opts.cfg.accesses_for(scaled_cache);
     let warm = (total as f64 * opts.cfg.warmup_fraction) as u64;
     sys.run(&mut trace, warm);

@@ -5,7 +5,7 @@
 use serde::Serialize;
 use unison_bench::table::{pct, size_label};
 use unison_bench::{BenchOpts, Table};
-use unison_harness::ExperimentGrid;
+use unison_harness::ScenarioGrid;
 use unison_sim::Design;
 use unison_trace::workloads;
 
@@ -23,7 +23,7 @@ fn main() {
     let opts = BenchOpts::from_args();
     opts.print_header("Figure 5: Unison Cache miss ratio vs associativity (960B pages)");
 
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs(ASSOCS.map(Design::UnisonAssoc))
         .workloads(workloads::all())
         .sizes([128 << 20, 1 << 30])

@@ -4,7 +4,7 @@
 use serde::Serialize;
 use unison_bench::table::{pct, size_label};
 use unison_bench::{BenchOpts, Table, CLOUD_SIZES, TPCH_SIZES};
-use unison_harness::ExperimentGrid;
+use unison_harness::ScenarioGrid;
 use unison_sim::Design;
 use unison_trace::workloads;
 
@@ -21,7 +21,7 @@ fn main() {
     opts.print_header("Figure 6: DRAM cache miss ratio, Alloy vs Footprint vs Unison");
 
     let designs = [Design::Alloy, Design::Footprint, Design::Unison];
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs(designs)
         .workloads(workloads::all())
         .sizes(CLOUD_SIZES)

@@ -10,7 +10,7 @@
 use serde::Serialize;
 use unison_bench::table::{size_label, speedup};
 use unison_bench::{BenchOpts, Table, CLOUD_SIZES};
-use unison_harness::ExperimentGrid;
+use unison_harness::ScenarioGrid;
 use unison_sim::Design;
 use unison_trace::workloads;
 
@@ -32,7 +32,7 @@ fn main() {
         Design::Unison,
         Design::Ideal,
     ];
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs(designs)
         .workloads(workloads::cloudsuite())
         .sizes(CLOUD_SIZES);

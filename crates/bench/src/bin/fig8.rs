@@ -6,7 +6,7 @@
 use serde::Serialize;
 use unison_bench::table::speedup;
 use unison_bench::{BenchOpts, Table, TPCH_SIZES};
-use unison_harness::ExperimentGrid;
+use unison_harness::ScenarioGrid;
 use unison_sim::Design;
 use unison_trace::workloads;
 
@@ -28,7 +28,7 @@ fn main() {
         Design::Unison,
         Design::Ideal,
     ];
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs(designs)
         .workload(workloads::tpch())
         .sizes(TPCH_SIZES);

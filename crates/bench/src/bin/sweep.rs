@@ -6,18 +6,31 @@
 //!     --designs unison,alloy,footprint,ideal \
 //!     --workloads "Web Search,TPC-H" \
 //!     --sizes 256M,1G --seeds 42,43 \
+//!     --cores 4,16 --dram-preset stacked,stacked-2x --way-policy predict,serial \
 //!     --threads 8 --csv sweep.csv --json sweep.json
 //! ```
 //!
-//! Defaults: the four headline designs, every workload, 512 MB, speedup
-//! mode (memoized NoCache baselines). `--metric miss` switches the table
-//! to miss ratios and skips the baselines entirely. All shared bench
-//! flags (`--scale`, `--seed`, `--threads`, `--quick`, sinks) apply.
+//! Defaults: the four headline designs, every workload, 512 MB, the
+//! paper's Table III machine, speedup mode (memoized NoCache baselines).
+//!
+//! **Scenario axes.** `--cores`, `--dram-preset` (stacked device),
+//! `--offchip-preset`, `--page-bytes`, `--ways`, and `--way-policy` each
+//! take a comma list; their cross product forms the scenario axis.
+//! `--scenario FILE.json` appends scenarios from a spec file (one object
+//! or an array; fields omitted in the file keep their defaults), and
+//! `--dump-scenario` prints the fully resolved scenario axis as JSON and
+//! exits — pipe it to a file to seed a spec file.
+//!
+//! `--metric miss` switches the table to miss ratios and skips the
+//! baselines entirely. All shared bench flags (`--scale`, `--seed`,
+//! `--threads`, `--quick`, sinks) apply.
 
 use unison_bench::table::{pct, size_label, speedup};
 use unison_bench::{BenchOpts, Table};
-use unison_harness::ExperimentGrid;
-use unison_sim::Design;
+use unison_core::WayPolicy;
+use unison_dram::DramPreset;
+use unison_harness::ScenarioGrid;
+use unison_sim::{scenarios_from_json, Design, Scenario, SystemSpec};
 use unison_trace::{workloads, WorkloadSpec};
 
 struct SweepArgs {
@@ -25,6 +38,8 @@ struct SweepArgs {
     workloads: Vec<WorkloadSpec>,
     sizes: Vec<u64>,
     seeds: Vec<u64>,
+    scenarios: Vec<Scenario>,
+    dump_scenario: bool,
     metric: Metric,
 }
 
@@ -38,11 +53,16 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: sweep [--designs a,b,..] [--workloads \"W1,W2,..\"] [--sizes 128M,1G,..] \
-         [--seeds s1,s2,..] [--metric speedup|miss] [shared bench flags]"
+         [--seeds s1,s2,..] [--cores n1,n2,..] [--dram-preset p1,p2,..] \
+         [--offchip-preset p1,p2,..] [--page-bytes b1,b2,..] [--ways w1,w2,..] \
+         [--way-policy p1,p2,..] [--scenario FILE.json] [--dump-scenario] \
+         [--metric speedup|miss] [shared bench flags]"
     );
-    eprintln!("  designs: alloy, footprint, unison, unison1984, unison-<N>way, ideal, nocache");
+    eprintln!("  designs:      {}", Design::VALID_NAMES);
+    eprintln!("  dram presets: {}", DramPreset::valid_names());
+    eprintln!("  way policies: {}", WayPolicy::valid_names());
     eprintln!(
-        "  workloads: {}",
+        "  workloads:    {}",
         workloads::all()
             .iter()
             .map(|w| w.name)
@@ -76,6 +96,72 @@ fn parse_size(s: &str) -> u64 {
         .unwrap_or_else(|| fail(&format!("size {s:?} overflows")))
 }
 
+/// The per-flag value lists that cross-multiply into the scenario axis.
+#[derive(Default)]
+struct AxisFlags {
+    cores: Vec<u32>,
+    stacked: Vec<DramPreset>,
+    offchip: Vec<DramPreset>,
+    page_bytes: Vec<u32>,
+    ways: Vec<u32>,
+    way_policies: Vec<WayPolicy>,
+}
+
+impl AxisFlags {
+    fn any(&self) -> bool {
+        !(self.cores.is_empty()
+            && self.stacked.is_empty()
+            && self.offchip.is_empty()
+            && self.page_bytes.is_empty()
+            && self.ways.is_empty()
+            && self.way_policies.is_empty())
+    }
+
+    /// The cross product of every given axis over the default spec, each
+    /// point validated and named after its non-default knobs.
+    fn cross_product(&self) -> Vec<Scenario> {
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let d = SystemSpec::default();
+        let mut out = Vec::new();
+        for &cores in &axis(&self.cores) {
+            for &stacked in &axis(&self.stacked) {
+                for &offchip in &axis(&self.offchip) {
+                    for &page_bytes in &axis(&self.page_bytes) {
+                        for &ways in &axis(&self.ways) {
+                            for &way_policy in &axis(&self.way_policies) {
+                                let spec = SystemSpec {
+                                    cores,
+                                    page_bytes,
+                                    ways,
+                                    way_policy,
+                                    stacked: stacked.unwrap_or(d.stacked),
+                                    offchip: offchip.unwrap_or(d.offchip),
+                                    ..d
+                                };
+                                spec.validate().unwrap_or_else(|e| fail(&e));
+                                out.push(Scenario::from_spec(spec));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_list<T>(flag: &str, raw: &str, parse: impl Fn(&str) -> Result<T, String>) -> Vec<T> {
+    raw.split(',')
+        .map(|item| parse(item.trim()).unwrap_or_else(|e| fail(&format!("{flag}: {e}"))))
+        .collect()
+}
+
 fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
     let mut args = SweepArgs {
         designs: vec![
@@ -87,8 +173,12 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
         workloads: workloads::all(),
         sizes: vec![512 << 20],
         seeds: Vec::new(),
+        scenarios: Vec::new(),
+        dump_scenario: false,
         metric: Metric::Speedup,
     };
+    let mut axes = AxisFlags::default();
+    let mut scenario_files: Vec<String> = Vec::new();
     let mut it = extra.into_iter();
     while let Some(flag) = it.next() {
         let mut grab = || {
@@ -97,34 +187,54 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
         };
         match flag.as_str() {
             "--designs" => {
-                args.designs = grab()
-                    .split(',')
-                    .map(|d| {
-                        Design::from_name(d)
-                            .unwrap_or_else(|| fail(&format!("unknown design {d:?}")))
-                    })
-                    .collect();
+                args.designs = parse_list("--designs", &grab(), Design::parse);
             }
             "--workloads" => {
-                args.workloads = grab()
-                    .split(',')
-                    .map(|w| {
-                        workloads::by_name(w.trim())
-                            .unwrap_or_else(|| fail(&format!("unknown workload {w:?}")))
+                args.workloads = parse_list("--workloads", &grab(), |w| {
+                    workloads::by_name(w).ok_or_else(|| {
+                        format!(
+                            "unknown workload {w:?} (valid workloads: {})",
+                            workloads::all()
+                                .iter()
+                                .map(|w| w.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
                     })
-                    .collect();
+                });
             }
             "--sizes" => args.sizes = grab().split(',').map(parse_size).collect(),
             "--seeds" => {
-                args.seeds = grab()
-                    .split(',')
-                    .map(|s| {
-                        s.trim()
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("bad seed {s:?}")))
-                    })
-                    .collect();
+                args.seeds = parse_list("--seeds", &grab(), |s| {
+                    s.parse().map_err(|_| format!("bad seed {s:?}"))
+                });
             }
+            "--cores" => {
+                axes.cores = parse_list("--cores", &grab(), |c| {
+                    c.parse().map_err(|_| format!("bad core count {c:?}"))
+                });
+            }
+            "--dram-preset" => {
+                axes.stacked = parse_list("--dram-preset", &grab(), DramPreset::parse);
+            }
+            "--offchip-preset" => {
+                axes.offchip = parse_list("--offchip-preset", &grab(), DramPreset::parse);
+            }
+            "--page-bytes" => {
+                axes.page_bytes = parse_list("--page-bytes", &grab(), |b| {
+                    b.parse().map_err(|_| format!("bad page size {b:?}"))
+                });
+            }
+            "--ways" => {
+                axes.ways = parse_list("--ways", &grab(), |w| {
+                    w.parse().map_err(|_| format!("bad way count {w:?}"))
+                });
+            }
+            "--way-policy" => {
+                axes.way_policies = parse_list("--way-policy", &grab(), WayPolicy::parse);
+            }
+            "--scenario" => scenario_files.push(grab()),
+            "--dump-scenario" => args.dump_scenario = true,
             "--metric" => {
                 args.metric = match grab().as_str() {
                     "speedup" => Metric::Speedup,
@@ -135,6 +245,25 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
             other => fail(&format!("unknown flag {other}")),
         }
     }
+    if axes.any() {
+        args.scenarios.extend(axes.cross_product());
+    }
+    for file in &scenario_files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("cannot read scenario file {file}: {e}")));
+        let loaded = scenarios_from_json(&text).unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+        args.scenarios.extend(loaded);
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for s in &args.scenarios {
+        if names.contains(&s.name.as_str()) {
+            fail(&format!(
+                "duplicate scenario name {:?} across axis flags and scenario files",
+                s.name
+            ));
+        }
+        names.push(&s.name);
+    }
     if args.designs.is_empty() || args.workloads.is_empty() || args.sizes.is_empty() {
         fail("designs, workloads, and sizes must all be non-empty");
     }
@@ -144,12 +273,42 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
 fn main() {
     let (opts, extra) = BenchOpts::parse_known(std::env::args().skip(1));
     let sweep = parse_sweep_args(extra);
-    opts.print_header("Sweep: user-specified experiment grid");
 
-    let mut grid = ExperimentGrid::new()
+    // The effective scenario axis (what an empty axis means), for the
+    // dump and the result tables.
+    let scenarios: Vec<Scenario> = if sweep.scenarios.is_empty() {
+        vec![Scenario::default()]
+    } else {
+        sweep.scenarios.clone()
+    };
+    if sweep.dump_scenario {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&scenarios).expect("scenarios serialize")
+        );
+        return;
+    }
+
+    opts.print_header("Sweep: user-specified experiment grid");
+    if scenarios.len() > 1 || scenarios[0] != Scenario::default() {
+        println!(
+            "scenarios: {}",
+            scenarios
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!();
+    }
+
+    let mut grid = ScenarioGrid::new()
         .designs(sweep.designs.clone())
         .workloads(sweep.workloads.clone())
         .sizes(sweep.sizes.clone());
+    if !sweep.scenarios.is_empty() {
+        grid = grid.scenarios(sweep.scenarios.clone());
+    }
     if !sweep.seeds.is_empty() {
         grid = grid.seeds(sweep.seeds.clone());
     }
@@ -169,57 +328,67 @@ fn main() {
         sweep.seeds.clone()
     };
 
-    for w in &sweep.workloads {
-        println!(
-            "-- {} ({}) --",
-            w.name,
-            match sweep.metric {
-                Metric::Speedup => "speedup over NoCache",
-                Metric::Miss => "miss ratio %",
+    for scenario in &scenarios {
+        let scope = if scenarios.len() > 1 {
+            format!(" [{}]", scenario.name)
+        } else {
+            String::new()
+        };
+        for w in &sweep.workloads {
+            println!(
+                "-- {}{} ({}) --",
+                w.name,
+                scope,
+                match sweep.metric {
+                    Metric::Speedup => "speedup over NoCache",
+                    Metric::Miss => "miss ratio %",
+                }
+            );
+            let mut t = Table::new(headers.clone());
+            for d in &sweep.designs {
+                let mut cells = vec![d.name()];
+                for &size in &sweep.sizes {
+                    // Average over seeds so multi-seed sweeps stay one table.
+                    let vals: Vec<f64> = seeds_shown
+                        .iter()
+                        .filter_map(|&seed| {
+                            results.get_in_scenario(&scenario.name, w.name, &d.name(), size, seed)
+                        })
+                        .map(|c| match sweep.metric {
+                            Metric::Speedup => c.speedup.unwrap_or(f64::NAN),
+                            Metric::Miss => c.run.cache.miss_ratio(),
+                        })
+                        .collect();
+                    let v = unison_harness::stats::mean(&vals).unwrap_or(f64::NAN);
+                    cells.push(match sweep.metric {
+                        Metric::Speedup => speedup(v),
+                        Metric::Miss => pct(v),
+                    });
+                }
+                t.row(cells);
             }
-        );
-        let mut t = Table::new(headers.clone());
-        for d in &sweep.designs {
-            let mut cells = vec![d.name()];
-            for &size in &sweep.sizes {
-                // Average over seeds so multi-seed sweeps stay one table.
-                let vals: Vec<f64> = seeds_shown
-                    .iter()
-                    .filter_map(|&seed| results.get_seeded(w.name, &d.name(), size, seed))
-                    .map(|c| match sweep.metric {
-                        Metric::Speedup => c.speedup.unwrap_or(f64::NAN),
-                        Metric::Miss => c.run.cache.miss_ratio(),
-                    })
-                    .collect();
-                let v = unison_harness::stats::mean(&vals).unwrap_or(f64::NAN);
-                cells.push(match sweep.metric {
-                    Metric::Speedup => speedup(v),
-                    Metric::Miss => pct(v),
-                });
-            }
-            t.row(cells);
+            t.print();
+            println!();
         }
-        t.print();
-        println!();
-    }
 
-    if sweep.metric == Metric::Speedup && sweep.workloads.len() > 1 {
-        println!("-- Geometric Mean across workloads --");
-        let mut t = Table::new(headers);
-        for d in &sweep.designs {
-            let mut cells = vec![d.name()];
-            for &size in &sweep.sizes {
-                cells.push(
-                    results
-                        .geomean_speedup(&d.name(), size)
-                        .map(speedup)
-                        .unwrap_or_else(|| "-".to_string()),
-                );
+        if sweep.metric == Metric::Speedup && sweep.workloads.len() > 1 {
+            println!("-- Geometric Mean across workloads{scope} --");
+            let mut t = Table::new(headers.clone());
+            for d in &sweep.designs {
+                let mut cells = vec![d.name()];
+                for &size in &sweep.sizes {
+                    cells.push(
+                        results
+                            .geomean_speedup_in_scenario(&scenario.name, &d.name(), size)
+                            .map(speedup)
+                            .unwrap_or_else(|| "-".to_string()),
+                    );
+                }
+                t.row(cells);
             }
-            t.row(cells);
+            t.print();
+            println!();
         }
-        t.print();
-        println!();
     }
 
     println!(

@@ -52,9 +52,9 @@ pub fn table5_size(workload: &str) -> u64 {
 /// cannot diverge.
 pub fn table5_grid(
     designs: impl IntoIterator<Item = unison_sim::Design>,
-) -> unison_harness::ExperimentGrid {
+) -> unison_harness::ScenarioGrid {
     let workloads = unison_trace::workloads::all();
-    let mut grid = unison_harness::ExperimentGrid::new()
+    let mut grid = unison_harness::ScenarioGrid::new()
         .designs(designs)
         .workloads(workloads.clone());
     for w in &workloads {

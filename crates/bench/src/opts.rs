@@ -164,12 +164,23 @@ impl BenchOpts {
             .traces(self.trace_policy())
     }
 
-    /// Prints the standard experiment header (system configuration per
-    /// Table III plus run-scale disclosure).
+    /// Prints the standard experiment header (the configured system —
+    /// Table III by default — plus run-scale disclosure).
     pub fn print_header(&self, what: &str) {
+        let sys = &self.cfg.system;
+        let stacked = sys.stacked.config();
+        let cores = match sys.cores {
+            Some(c) => format!("{c}-core pod"),
+            None => "16-core pod".to_string(),
+        };
         println!("== {what} ==");
         println!(
-            "system: 16-core pod @3GHz | stacked DRAM 4ch x 128-bit @1.6GHz | off-chip DDR3-1600 (Table III)"
+            "system: {cores} @3GHz | stacked DRAM '{}' {}ch x {}-bit @{:.1}GHz | off-chip '{}' (Table III defaults)",
+            stacked.name,
+            stacked.channels,
+            stacked.bus_bits,
+            stacked.clock_mhz as f64 / 1000.0,
+            sys.offchip.config().name,
         );
         println!(
             "run: scale 1/{} (cache sizes and workload footprints divided together), >= {} accesses/run, seed {}, {} worker thread(s)",

@@ -55,4 +55,4 @@ pub use nocache::NoCache;
 pub use ports::MemPorts;
 pub use stats::CacheStats;
 pub use types::{AccessOutcome, Request, BLOCK_BYTES};
-pub use unison::{UnisonCache, UnisonConfig};
+pub use unison::{UnisonCache, UnisonConfig, WayPolicy};

@@ -29,7 +29,11 @@ use crate::stats::CacheStats;
 use crate::types::{AccessOutcome, Request, BLOCK_BYTES};
 
 /// How the cache locates the correct way of a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serialized by its CLI spelling (`"predict"`, `"parallel-fetch"`,
+/// `"serial-tag-data"`) so scenario JSON files and sweep axis flags share
+/// one vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WayPolicy {
     /// The paper's design: predict one way, read it alongside the tags.
     Predict,
@@ -39,6 +43,76 @@ pub enum WayPolicy {
     /// Ablation: read tags first, then the correct way — the
     /// "tags-then-data serialization" alternative §III-A.5 rejects.
     SerialTagData,
+}
+
+impl WayPolicy {
+    /// Every policy, in display order.
+    pub const ALL: [WayPolicy; 3] = [
+        WayPolicy::Predict,
+        WayPolicy::ParallelFetch,
+        WayPolicy::SerialTagData,
+    ];
+
+    /// The policy's canonical (CLI and JSON) spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WayPolicy::Predict => "predict",
+            WayPolicy::ParallelFetch => "parallel-fetch",
+            WayPolicy::SerialTagData => "serial-tag-data",
+        }
+    }
+
+    /// Comma-joined list of all valid names, for error messages.
+    pub fn valid_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Parses a policy name (case-insensitive; `parallel` and `serial`
+    /// are accepted shorthands).
+    pub fn from_name(name: &str) -> Option<WayPolicy> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "predict" => Some(WayPolicy::Predict),
+            "parallel-fetch" | "parallel" => Some(WayPolicy::ParallelFetch),
+            "serial-tag-data" | "serial" => Some(WayPolicy::SerialTagData),
+            _ => None,
+        }
+    }
+
+    /// [`Self::from_name`] with an error that lists the valid names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full valid-name list when `name` matches no policy.
+    pub fn parse(name: &str) -> Result<WayPolicy, String> {
+        Self::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown way policy {name:?} (valid policies: {})",
+                Self::valid_names()
+            )
+        })
+    }
+}
+
+impl Serialize for WayPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for WayPolicy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s).map_err(serde::DeError::msg),
+            other => Err(serde::DeError::msg(format!(
+                "expected a way-policy name, got {}",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 /// Configuration of a [`UnisonCache`].
@@ -96,6 +170,15 @@ impl UnisonConfig {
     #[must_use]
     pub fn with_assoc(mut self, assoc: u32) -> Self {
         self.assoc = assoc;
+        self
+    }
+
+    /// Same organization with a different page size, given in **blocks**
+    /// (must be `2^n − 1` for the residue mapper: 3, 7, 15, 31, 63 …
+    /// i.e. 192 B, 448 B, 960 B, 1984 B, 4032 B pages).
+    #[must_use]
+    pub fn with_page_blocks(mut self, page_blocks: u32) -> Self {
+        self.page_blocks = page_blocks;
         self
     }
 
@@ -937,5 +1020,32 @@ mod tests {
             page_blocks: 16,
             ..UnisonConfig::new(1 << 20)
         });
+    }
+
+    #[test]
+    fn way_policy_names_round_trip() {
+        for p in WayPolicy::ALL {
+            assert_eq!(WayPolicy::from_name(p.name()), Some(p), "{}", p.name());
+        }
+        assert_eq!(
+            WayPolicy::from_name("Parallel"),
+            Some(WayPolicy::ParallelFetch)
+        );
+        assert_eq!(
+            WayPolicy::from_name("serial"),
+            Some(WayPolicy::SerialTagData)
+        );
+        let e = WayPolicy::parse("bogus").unwrap_err();
+        for p in WayPolicy::ALL {
+            assert!(e.contains(p.name()), "error {e:?} missing {}", p.name());
+        }
+    }
+
+    #[test]
+    fn with_page_blocks_builds_the_large_page_variant() {
+        assert_eq!(
+            UnisonConfig::new(1 << 30).with_page_blocks(31),
+            UnisonConfig::large_pages(1 << 30)
+        );
     }
 }

@@ -54,6 +54,24 @@ impl Timings {
             t_cwd: 10,
         }
     }
+
+    /// DDR4-2400-class timings interpreted at a 1200 MHz device clock
+    /// (JEDEC 17-17-17-39 ballpark). Used by the `ddr4-2400` preset.
+    pub const fn ddr4_2400() -> Self {
+        Timings {
+            t_cas: 17,
+            t_rcd: 17,
+            t_rp: 17,
+            t_ras: 39,
+            t_rc: 56,
+            t_wr: 18,
+            t_wtr: 9,
+            t_rtp: 9,
+            t_rrd: 6,
+            t_faw: 26,
+            t_cwd: 16,
+        }
+    }
 }
 
 /// Per-operation dynamic energy parameters, in picojoules.
@@ -210,6 +228,124 @@ impl DramConfig {
     }
 }
 
+/// Named DRAM device presets — the timing/energy points a scenario can
+/// select for either the stacked or the off-chip device without editing
+/// code. `Stacked` + `Ddr3_1600` reproduce Table III exactly; the rest
+/// are the bandwidth/latency corners related work sweeps ("Die-Stacked
+/// DRAM: Memory, Cache, or MemCache?" varies exactly these axes).
+///
+/// Serialized by its CLI spelling (`"stacked"`, `"ddr4-2400"`, …), so
+/// scenario JSON files read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramPreset {
+    /// Table III die-stacked device: 4 ch × 128-bit @ 1.6 GHz.
+    Stacked,
+    /// Stacked device with doubled channel count (8 ch, ~410 GB/s) — the
+    /// "bandwidth is cheap through TSVs" corner.
+    Stacked2x,
+    /// Stacked device with half the channels (2 ch) — a constrained
+    /// interposer corner that stresses bandwidth-hungry designs.
+    StackedHalf,
+    /// Table III off-chip device: one DDR3-1600 channel.
+    Ddr3_1600,
+    /// A faster off-chip part: one DDR4-2400-class channel, 16 banks.
+    Ddr4_2400,
+}
+
+impl DramPreset {
+    /// Every preset, in display order (the source of CLI error listings).
+    pub const ALL: [DramPreset; 5] = [
+        DramPreset::Stacked,
+        DramPreset::Stacked2x,
+        DramPreset::StackedHalf,
+        DramPreset::Ddr3_1600,
+        DramPreset::Ddr4_2400,
+    ];
+
+    /// The preset's canonical (CLI and JSON) spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DramPreset::Stacked => "stacked",
+            DramPreset::Stacked2x => "stacked-2x",
+            DramPreset::StackedHalf => "stacked-half",
+            DramPreset::Ddr3_1600 => "ddr3-1600",
+            DramPreset::Ddr4_2400 => "ddr4-2400",
+        }
+    }
+
+    /// Comma-joined list of all valid names, for error messages.
+    pub fn valid_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Parses a preset name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<DramPreset> {
+        let lower = name.trim().to_ascii_lowercase();
+        Self::ALL.iter().copied().find(|p| p.name() == lower)
+    }
+
+    /// [`Self::from_name`] with an error that lists the valid names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full valid-name list when `name` matches no preset.
+    pub fn parse(name: &str) -> Result<DramPreset, String> {
+        Self::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown DRAM preset {name:?} (valid presets: {})",
+                Self::valid_names()
+            )
+        })
+    }
+
+    /// The full device configuration this preset names.
+    pub fn config(&self) -> DramConfig {
+        match self {
+            DramPreset::Stacked => DramConfig::stacked(),
+            DramPreset::Stacked2x => DramConfig {
+                name: "stacked-2x",
+                channels: 8,
+                ..DramConfig::stacked()
+            },
+            DramPreset::StackedHalf => DramConfig {
+                name: "stacked-half",
+                channels: 2,
+                ..DramConfig::stacked()
+            },
+            DramPreset::Ddr3_1600 => DramConfig::ddr3_1600(),
+            DramPreset::Ddr4_2400 => DramConfig {
+                name: "ddr4-2400",
+                clock_mhz: 1200,
+                banks: 16,
+                timings: Timings::ddr4_2400(),
+                ..DramConfig::ddr3_1600()
+            },
+        }
+    }
+}
+
+impl serde::Serialize for DramPreset {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for DramPreset {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s).map_err(serde::DeError::msg),
+            other => Err(serde::DeError::msg(format!(
+                "expected a DRAM preset name, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +384,47 @@ mod tests {
         assert_eq!(d.burst_ps(64), 5000); // 8 beats = 4 clocks
         assert_eq!(d.burst_ps(1), 625); // 1 beat rounds to a half clock
         assert_eq!(d.burst_ps(72), 5625); // 9 beats
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in DramPreset::ALL {
+            assert_eq!(DramPreset::from_name(p.name()), Some(p), "{}", p.name());
+            assert_eq!(p.config().name, p.name());
+        }
+        assert_eq!(DramPreset::from_name("STACKED"), Some(DramPreset::Stacked));
+        assert_eq!(DramPreset::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn preset_parse_error_lists_valid_names() {
+        let e = DramPreset::parse("hbm9").unwrap_err();
+        for p in DramPreset::ALL {
+            assert!(e.contains(p.name()), "error {e:?} missing {}", p.name());
+        }
+    }
+
+    #[test]
+    fn table_iii_presets_are_the_papers_devices() {
+        assert_eq!(DramPreset::Stacked.config(), DramConfig::stacked());
+        assert_eq!(DramPreset::Ddr3_1600.config(), DramConfig::ddr3_1600());
+    }
+
+    #[test]
+    fn preset_bandwidth_ordering_is_sane() {
+        let bw = |p: DramPreset| p.config().peak_bandwidth_bytes_per_sec();
+        assert_eq!(bw(DramPreset::Stacked2x), 2 * bw(DramPreset::Stacked));
+        assert_eq!(2 * bw(DramPreset::StackedHalf), bw(DramPreset::Stacked));
+        assert!(bw(DramPreset::Ddr4_2400) > bw(DramPreset::Ddr3_1600));
+    }
+
+    #[test]
+    fn preset_serde_uses_kebab_names() {
+        let json = serde_json::to_string(&DramPreset::Ddr4_2400).unwrap();
+        assert_eq!(json, "\"ddr4-2400\"");
+        let back: DramPreset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, DramPreset::Ddr4_2400);
+        assert!(serde_json::from_str::<DramPreset>("\"hbm9\"").is_err());
     }
 
     #[test]

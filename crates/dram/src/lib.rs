@@ -47,7 +47,7 @@ mod time;
 
 pub use address::{Location, RowCol};
 pub use bank::BankState;
-pub use config::{DramConfig, EnergyParams, Timings};
+pub use config::{DramConfig, DramPreset, EnergyParams, Timings};
 pub use energy::{EnergyBreakdown, EnergyCounters};
 pub use model::{Completion, DramModel, DramStats, Op};
 pub use time::{cpu_cycles_to_ps, ps_to_cpu_cycles, Ps, CPU_CLOCK_MHZ};

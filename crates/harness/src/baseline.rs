@@ -1,29 +1,31 @@
 //! Memoized baseline runs.
 //!
 //! Speedups are measured against the NoCache baseline, which depends only
-//! on `(workload, seed, SimConfig)` — never on the design or cache size
-//! under test. A 4-design × 4-size sweep therefore needs **one** baseline
-//! simulation per workload, not sixteen; this store provides exactly-once
-//! computation with cheap cached reads, safe to share across the worker
-//! pool.
+//! on `(workload, system spec, seed, SimConfig)` — never on the design or
+//! cache size under test. A 4-design × 4-size sweep therefore needs
+//! **one** baseline simulation per `(workload, scenario)`, not sixteen;
+//! this store provides exactly-once computation with cheap cached reads,
+//! safe to share across the worker pool.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use unison_sim::{
-    run_baseline, run_experiment_with_source, Design, RunResult, SimConfig, TraceSource,
+    run_baseline, run_experiment_with_source, Design, RunResult, SimConfig, SystemSpec, TraceSource,
 };
 use unison_trace::WorkloadSpec;
 
 use crate::trace_store::TraceStore;
 
-/// Memo key: (serialized workload spec, trace seed).
-type BaselineKey = (String, u64);
+/// Memo key: (serialized workload spec, serialized system spec, seed).
+type BaselineKey = (String, String, u64);
 
 /// Exactly-once cache of NoCache baseline runs keyed by the **full
-/// serialized workload spec** plus seed — two specs that share a display
-/// name but differ in parameters get distinct baselines.
+/// serialized workload spec**, the **full serialized system spec**, and
+/// the seed — two requests that share display names but differ in any
+/// parameter (a scaled workload variant, a different core count, another
+/// DRAM preset) get distinct baselines.
 pub struct BaselineStore {
     cfg: SimConfig,
     traces: Option<Arc<TraceStore>>,
@@ -34,7 +36,7 @@ pub struct BaselineStore {
 
 impl BaselineStore {
     /// Creates an empty store; baselines run under `cfg` (with the seed
-    /// overridden per request).
+    /// and system spec overridden per request).
     pub fn new(cfg: SimConfig) -> Self {
         BaselineStore {
             cfg,
@@ -53,20 +55,38 @@ impl BaselineStore {
         self
     }
 
-    /// Returns the baseline run for `(spec, seed)`, simulating it on
-    /// first request and serving the memoized result afterwards.
+    /// Returns the baseline run for `(spec, seed)` on the store config's
+    /// own system spec. Campaigns sweeping a scenario axis must use
+    /// [`Self::get_for_system`].
+    pub fn get(&self, spec: &WorkloadSpec, seed: u64) -> RunResult {
+        self.get_for_system(spec, &self.cfg.system, seed)
+    }
+
+    /// Returns the baseline run for `(spec, system, seed)`, simulating it
+    /// on first request and serving the memoized result afterwards.
     ///
     /// Concurrent first requests block on the in-flight simulation
     /// (`OnceLock` semantics) — the simulation still runs exactly once.
-    pub fn get(&self, spec: &WorkloadSpec, seed: u64) -> RunResult {
-        // Key on the *full* spec encoding, not just the display name: two
-        // specs sharing a name but differing in parameters (e.g. a spec
-        // and its `scaled()` variant) must not share a baseline.
-        let key = serde_json::to_string(spec).expect("workload spec serializes");
+    pub fn get_for_system(&self, spec: &WorkloadSpec, system: &SystemSpec, seed: u64) -> RunResult {
+        // Key on the *full* spec encodings, not display names: two specs
+        // sharing a name but differing in parameters (e.g. a workload and
+        // its `scaled()` variant, or two scenarios differing only in core
+        // count or DRAM preset) must not share a baseline. The core-count
+        // override is normalized into the workload half of the key (the
+        // same way trace-artifact keys see it), so `cores: Some(16)` and
+        // `cores: None` — the identical machine for a 16-core workload —
+        // share one baseline instead of simulating it twice.
+        let wkey = serde_json::to_string(&system.effective_workload(spec))
+            .expect("workload spec serializes");
+        let skey = {
+            let mut sans_cores = *system;
+            sans_cores.cores = None;
+            serde_json::to_string(&sans_cores).expect("system spec serializes")
+        };
         let cell = {
             let mut map = self.cells.lock().expect("baseline map poisoned");
             Arc::clone(
-                map.entry((key, seed))
+                map.entry((wkey, skey, seed))
                     .or_insert_with(|| Arc::new(OnceLock::new())),
             )
         };
@@ -76,6 +96,7 @@ impl BaselineStore {
             self.computed.fetch_add(1, Ordering::Relaxed);
             let mut cfg = self.cfg;
             cfg.seed = seed;
+            cfg.system = *system;
             match &self.traces {
                 Some(traces) => {
                     let plan = cfg.trace_plan(spec, 0);
@@ -111,6 +132,7 @@ impl BaselineStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unison_dram::DramPreset;
     use unison_trace::workloads;
 
     #[test]
@@ -150,6 +172,61 @@ mod tests {
         let b = store.get(&spec, 2);
         assert_eq!(store.computed_runs(), 2);
         assert_ne!(a.elapsed_ps, b.elapsed_ps);
+    }
+
+    #[test]
+    fn distinct_core_counts_are_distinct_cells() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search();
+        let four = SystemSpec {
+            cores: Some(4),
+            ..SystemSpec::default()
+        };
+        let a = store.get_for_system(&spec, &SystemSpec::default(), 42);
+        let b = store.get_for_system(&spec, &four, 42);
+        assert_eq!(
+            store.computed_runs(),
+            2,
+            "a 4-core baseline must not be reused for 16 cores"
+        );
+        assert_ne!(a.uipc, b.uipc, "core count visibly changes the baseline");
+    }
+
+    #[test]
+    fn explicit_default_core_count_shares_the_default_baseline() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search(); // 16-core workload
+        let explicit_16 = SystemSpec {
+            cores: Some(16),
+            ..SystemSpec::default()
+        };
+        store.get_for_system(&spec, &SystemSpec::default(), 42);
+        store.get_for_system(&spec, &explicit_16, 42);
+        assert_eq!(
+            store.computed_runs(),
+            1,
+            "cores: Some(16) is the same machine as cores: None for a \
+             16-core workload — one baseline, not two"
+        );
+        assert_eq!(store.cache_hits(), 1);
+    }
+
+    #[test]
+    fn distinct_dram_presets_are_distinct_cells() {
+        let store = BaselineStore::new(SimConfig::quick_test());
+        let spec = workloads::web_search();
+        let fast_mem = SystemSpec {
+            offchip: DramPreset::Ddr4_2400,
+            ..SystemSpec::default()
+        };
+        let a = store.get_for_system(&spec, &SystemSpec::default(), 42);
+        let b = store.get_for_system(&spec, &fast_mem, 42);
+        assert_eq!(
+            store.computed_runs(),
+            2,
+            "a DDR4 baseline must not be reused for DDR3"
+        );
+        assert_ne!(a.uipc, b.uipc, "off-chip preset changes the baseline");
     }
 
     #[test]

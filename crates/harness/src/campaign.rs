@@ -8,21 +8,29 @@ use std::sync::Arc;
 use serde::Serialize;
 use unison_sim::{
     run_experiment_with_source, run_speedup_with_baseline_source, Design, RunResult, SimConfig,
-    TraceSource,
+    SystemSpec, TraceSource,
 };
 use unison_trace::WorkloadSpec;
 
 use crate::baseline::BaselineStore;
-use crate::grid::{Cell, ExperimentGrid};
+use crate::grid::{Cell, ScenarioGrid};
 use crate::pool::{self, parallel_map};
 use crate::stats::geomean;
 use crate::trace_store::TraceStore;
 
-/// One executed cell: the simulation outcome plus the seed it ran under
-/// and (for speedup campaigns) its speedup over the memoized NoCache
-/// baseline.
+/// One executed cell: the simulation outcome plus the scenario and seed
+/// it ran under and (for speedup campaigns) its speedup over the memoized
+/// NoCache baseline.
 #[derive(Debug, Clone, Serialize)]
 pub struct CellResult {
+    /// Scenario display name.
+    pub scenario: String,
+    /// The machine the cell simulated (full spec, self-describing in
+    /// JSON output).
+    pub system: SystemSpec,
+    /// Core count the run actually drove (the spec's override, or the
+    /// workload's own pod size).
+    pub cores: u32,
     /// Trace seed the cell ran with.
     pub seed: u64,
     /// Speedup over the NoCache baseline (`None` for plain campaigns).
@@ -51,7 +59,7 @@ impl CellResult {
 /// All results of one campaign, in grid order.
 #[derive(Debug, Clone, Serialize)]
 pub struct CampaignResult {
-    /// Executed cells, ordered exactly as [`ExperimentGrid::cells`]
+    /// Executed cells, ordered exactly as [`ScenarioGrid::cells`]
     /// enumerated them (independent of worker scheduling).
     pub cells: Vec<CellResult>,
     /// NoCache baseline simulations actually executed.
@@ -111,6 +119,48 @@ impl CampaignResult {
     pub fn geomean_speedup(&self, design: &str, cache_bytes: u64) -> Option<f64> {
         geomean(&self.speedups(design, cache_bytes))
     }
+
+    /// Cell matching `(scenario name, workload, design, size, seed)` —
+    /// the fully qualified lookup for multi-scenario sweeps.
+    pub fn get_in_scenario(
+        &self,
+        scenario: &str,
+        workload: &str,
+        design: &str,
+        cache_bytes: u64,
+        seed: u64,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.scenario == scenario
+                && c.workload() == workload
+                && c.design() == design
+                && c.cache_bytes() == cache_bytes
+                && c.seed == seed
+        })
+    }
+
+    /// Speedups of every cell matching `(scenario, design, size)`, in
+    /// grid (workload) order.
+    pub fn speedups_in_scenario(&self, scenario: &str, design: &str, cache_bytes: u64) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.scenario == scenario && c.design() == design && c.cache_bytes() == cache_bytes
+            })
+            .filter_map(|c| c.speedup)
+            .collect()
+    }
+
+    /// Geometric-mean speedup across workloads for
+    /// `(scenario, design, size)`.
+    pub fn geomean_speedup_in_scenario(
+        &self,
+        scenario: &str,
+        design: &str,
+        cache_bytes: u64,
+    ) -> Option<f64> {
+        geomean(&self.speedups_in_scenario(scenario, design, cache_bytes))
+    }
 }
 
 /// How a campaign sources its trace record streams.
@@ -129,7 +179,8 @@ pub enum TracePolicy {
     Disk(PathBuf),
 }
 
-/// Executes [`ExperimentGrid`]s on a worker pool under one [`SimConfig`].
+/// Executes [`ScenarioGrid`]s on a worker pool under one [`SimConfig`]
+/// (whose system spec each cell's scenario overrides).
 #[derive(Debug, Clone)]
 pub struct Campaign {
     cfg: SimConfig,
@@ -177,15 +228,15 @@ impl Campaign {
     }
 
     /// Runs every cell of `grid`; no baselines, `speedup` is `None`.
-    pub fn run(&self, grid: &ExperimentGrid) -> CampaignResult {
+    pub fn run(&self, grid: &ScenarioGrid) -> CampaignResult {
         self.execute(grid, false)
     }
 
     /// Runs every cell of `grid` and computes each cell's speedup over
     /// the NoCache baseline. Baselines are memoized: exactly one NoCache
-    /// simulation per `(workload, seed)` in the whole campaign, prefilled
-    /// in parallel before the design cells run.
-    pub fn run_speedups(&self, grid: &ExperimentGrid) -> CampaignResult {
+    /// simulation per `(workload, system spec, seed)` in the whole
+    /// campaign, prefilled in parallel before the design cells run.
+    pub fn run_speedups(&self, grid: &ScenarioGrid) -> CampaignResult {
         self.execute(grid, true)
     }
 
@@ -205,13 +256,18 @@ impl Campaign {
     fn prefill_traces(&self, traces: &TraceStore, cells: &[Cell], with_baselines: bool) {
         let mut plans: HashMap<(String, u64), (WorkloadSpec, u64)> = HashMap::new();
         for cell in cells {
-            let plan = self.cfg.trace_plan(&cell.workload, cell.cache_bytes);
+            // The scenario's system spec feeds the plan, so its core
+            // count lands in the scaled spec — the artifact key. Cells of
+            // scenarios that share an effective workload share a freeze.
+            let mut cfg = self.cfg;
+            cfg.system = cell.scenario.system;
+            let plan = cfg.trace_plan(&cell.workload, cell.cache_bytes);
             let needed = if with_baselines {
                 // The baseline runs at cache size 0; its trace is never
                 // longer than a design cell's, but take the max anyway
                 // rather than encode that reasoning here.
                 plan.frozen_len
-                    .max(self.cfg.trace_plan(&cell.workload, 0).frozen_len)
+                    .max(cfg.trace_plan(&cell.workload, 0).frozen_len)
             } else {
                 plan.frozen_len
             };
@@ -250,7 +306,7 @@ impl Campaign {
         parallel_map(items, self.threads, f)
     }
 
-    fn execute(&self, grid: &ExperimentGrid, speedups: bool) -> CampaignResult {
+    fn execute(&self, grid: &ScenarioGrid, speedups: bool) -> CampaignResult {
         let cells = grid.cells(self.cfg.seed);
         let traces = self.trace_store();
         if let Some(traces) = &traces {
@@ -272,8 +328,8 @@ impl Campaign {
                     self.threads
                 );
             }
-            parallel_map(&keys, self.threads, |(spec, seed)| {
-                store.get(spec, *seed);
+            parallel_map(&keys, self.threads, |(spec, system, seed)| {
+                store.get_for_system(spec, system, *seed);
             });
         }
 
@@ -284,10 +340,11 @@ impl Campaign {
             if self.progress {
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
-                    "[harness {k}/{total}] {} @ {}MB on {} (seed {}) done",
+                    "[harness {k}/{total}] {} @ {}MB on {} [{}] (seed {}) done",
                     cell.design.name(),
                     cell.cache_bytes >> 20,
                     cell.workload.name,
+                    cell.scenario.name,
                     cell.seed
                 );
             }
@@ -311,9 +368,18 @@ impl Campaign {
     ) -> CellResult {
         let mut cfg = self.cfg;
         cfg.seed = cell.seed;
-        // The shared artifact for this cell's (workload, seed), when trace
-        // sharing is on. Held across the run; clones of the Arc are O(1)
-        // and the payload is never copied.
+        cfg.system = cell.scenario.system;
+        let tag = |speedup: Option<f64>, run: RunResult| CellResult {
+            scenario: cell.scenario.name.clone(),
+            system: cell.scenario.system,
+            cores: cell.scenario.system.resolved_cores(&cell.workload),
+            seed: cell.seed,
+            speedup,
+            run,
+        };
+        // The shared artifact for this cell's (workload, system, seed),
+        // when trace sharing is on. Held across the run; clones of the
+        // Arc are O(1) and the payload is never copied.
         let artifact = traces.map(|t| {
             let plan = cfg.trace_plan(&cell.workload, cell.cache_bytes);
             t.get(&plan.scaled_spec, cell.seed, plan.frozen_len)
@@ -323,18 +389,14 @@ impl Campaign {
             .map_or(TraceSource::Live, |a| TraceSource::Replay(a));
         match store {
             Some(store) => {
-                let base = store.get(&cell.workload, cell.seed);
+                let base = store.get_for_system(&cell.workload, &cell.scenario.system, cell.seed);
                 if cell.design == Design::NoCache {
                     // The baseline *is* this cell's run; reuse it. Key the
                     // result by the cell's declared size so grid-coordinate
                     // lookups stay uniform.
                     let mut run = base;
                     run.cache_bytes = cell.cache_bytes;
-                    CellResult {
-                        seed: cell.seed,
-                        speedup: Some(1.0),
-                        run,
-                    }
+                    tag(Some(1.0), run)
                 } else {
                     let s = run_speedup_with_baseline_source(
                         cell.design,
@@ -344,24 +406,19 @@ impl Campaign {
                         &base,
                         source,
                     );
-                    CellResult {
-                        seed: cell.seed,
-                        speedup: Some(s.speedup),
-                        run: s.run,
-                    }
+                    tag(Some(s.speedup), s.run)
                 }
             }
-            None => CellResult {
-                seed: cell.seed,
-                speedup: None,
-                run: run_experiment_with_source(
+            None => tag(
+                None,
+                run_experiment_with_source(
                     cell.design,
                     cell.cache_bytes,
                     &cell.workload,
                     &cfg,
                     source,
                 ),
-            },
+            ),
         }
     }
 }
@@ -371,8 +428,8 @@ mod tests {
     use super::*;
     use unison_trace::workloads;
 
-    fn tiny_grid() -> ExperimentGrid {
-        ExperimentGrid::new()
+    fn tiny_grid() -> ScenarioGrid {
+        ScenarioGrid::new()
             .designs([Design::Unison, Design::Ideal])
             .workloads([workloads::web_search(), workloads::data_serving()])
             .sizes([256 << 20])
@@ -448,7 +505,7 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let grid = ExperimentGrid::new()
+        let grid = ScenarioGrid::new()
             .designs([Design::Ideal])
             .workloads([workloads::web_search()])
             .sizes([256 << 20]);
@@ -479,7 +536,7 @@ mod tests {
 
     #[test]
     fn nocache_cells_reuse_the_baseline() {
-        let grid = ExperimentGrid::new()
+        let grid = ScenarioGrid::new()
             .designs([Design::NoCache, Design::Ideal])
             .workloads([workloads::web_search()])
             .sizes([256 << 20]);
@@ -491,5 +548,76 @@ mod tests {
             .get("Web Search", "NoCache", 256 << 20)
             .expect("baseline cell");
         assert_eq!(nc.speedup, Some(1.0));
+    }
+
+    #[test]
+    fn scenario_axis_runs_distinct_machines_with_distinct_baselines() {
+        use unison_sim::{Scenario, SystemSpec};
+        let quad = Scenario::from_spec(SystemSpec {
+            cores: Some(4),
+            ..SystemSpec::default()
+        });
+        let grid = ScenarioGrid::new()
+            .designs([Design::Unison])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20])
+            .scenarios([Scenario::default(), quad]);
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(2)
+            .run_speedups(&grid);
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(
+            r.baseline_runs, 2,
+            "each machine gets its own NoCache baseline"
+        );
+        // Different core counts generate different traces, so the two
+        // cells must also freeze two distinct artifacts.
+        assert_eq!(r.trace_generated, 2, "per-machine trace artifacts");
+        let default = r
+            .get_in_scenario("default", "Web Search", "Unison", 256 << 20, 42)
+            .expect("default cell");
+        let quad = r
+            .get_in_scenario("c4", "Web Search", "Unison", 256 << 20, 42)
+            .expect("c4 cell");
+        assert_eq!(default.cores, 16);
+        assert_eq!(quad.cores, 4);
+        assert_ne!(
+            default.run.uipc, quad.run.uipc,
+            "core count must change the measured result"
+        );
+        // The scenario helpers slice per machine.
+        assert_eq!(r.speedups_in_scenario("c4", "Unison", 256 << 20).len(), 1);
+        assert!(r
+            .geomean_speedup_in_scenario("default", "Unison", 256 << 20)
+            .is_some());
+    }
+
+    #[test]
+    fn scenarios_sharing_a_machine_share_baseline_and_trace() {
+        use unison_sim::{Scenario, SystemSpec};
+        // Same system spec under two names: one baseline, one artifact.
+        let a = Scenario {
+            name: "alpha".into(),
+            system: SystemSpec::default(),
+        };
+        let b = Scenario {
+            name: "beta".into(),
+            system: SystemSpec::default(),
+        };
+        let grid = ScenarioGrid::new()
+            .designs([Design::Ideal])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20])
+            .scenarios([a, b]);
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run_speedups(&grid);
+        assert_eq!(r.baseline_runs, 1, "identical machines share a baseline");
+        assert_eq!(r.trace_generated, 1, "identical machines share a trace");
+        assert_eq!(
+            serde_json::to_string(&r.cells[0].run).unwrap(),
+            serde_json::to_string(&r.cells[1].run).unwrap(),
+            "same machine, same workload, same seed => same result"
+        );
     }
 }

@@ -1,21 +1,26 @@
 //! The experiment-campaign engine: declarative grids of
-//! (design × size × workload × seed) cells executed by a thread pool with
-//! memoized baselines and structured result sinks.
+//! (design × scenario × size × workload × seed) cells executed by a
+//! thread pool with memoized baselines and structured result sinks.
 //!
 //! The paper's evaluation is a large grid of independent simulations.
 //! Every figure/table binary used to hand-roll a serial loop and
 //! re-simulate the NoCache baseline per speedup; this crate factors that
 //! into one engine:
 //!
-//! * [`ExperimentGrid`] — declare the axes (designs, cache sizes,
-//!   workloads, seeds), with per-workload size overrides for the
-//!   CloudSuite-vs-TPC-H split the paper uses throughout.
+//! * [`ScenarioGrid`] — declare the axes (designs, scenarios, cache
+//!   sizes, workloads, seeds), with per-workload size overrides for the
+//!   CloudSuite-vs-TPC-H split the paper uses throughout. The scenario
+//!   axis sweeps whole machines — `unison_sim::SystemSpec` points naming
+//!   core counts, cache geometry, and DRAM presets; leaving it unset
+//!   runs the paper's Table III system.
 //! * [`Campaign`] — execute the grid's cells on `N` worker threads
 //!   (`--threads 1` reproduces the historical serial behaviour exactly:
 //!   simulations are deterministic and results are returned in grid
 //!   order, so parallelism never changes output).
 //! * [`BaselineStore`] — NoCache baselines are computed **once** per
-//!   (workload, seed) and shared by every speedup in the campaign.
+//!   (workload, system spec, seed) and shared by every speedup in the
+//!   campaign. A baseline for a 4-core machine is never reused for a
+//!   16-core one: keys serialize the *full* specs.
 //! * [`TraceStore`] — each (workload, seed) record stream is frozen
 //!   **once** as a `unison_trace::TraceArtifact` and replayed zero-copy
 //!   by every cell (bit-identical to live generation), optionally
@@ -56,5 +61,5 @@ mod trace_store;
 
 pub use baseline::BaselineStore;
 pub use campaign::{Campaign, CampaignResult, CellResult, TracePolicy};
-pub use grid::{Cell, ExperimentGrid};
+pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
 pub use trace_store::TraceStore;

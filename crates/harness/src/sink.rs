@@ -6,7 +6,15 @@ use std::path::Path;
 use crate::campaign::CampaignResult;
 
 /// CSV header row produced by [`to_csv`].
-pub const CSV_HEADER: &str = "workload,design,cache_bytes,seed,speedup,uipc,miss_ratio,\
+///
+/// The scenario columns (`scenario` through `offchip_dram`) make each row
+/// self-describing: `cores` is the count the run actually drove, and
+/// `page_bytes`/`ways`/`way_policy` are the geometry the design
+/// **actually ran** (variant-pinned knobs win over scenario overrides,
+/// per `Design::unison_geometry`); they stay empty for designs the
+/// geometry knobs don't apply to.
+pub const CSV_HEADER: &str = "workload,design,cache_bytes,seed,scenario,cores,page_bytes,ways,\
+way_policy,stacked_dram,offchip_dram,speedup,uipc,miss_ratio,\
 measured_accesses,instructions,elapsed_ps,offchip_bytes_per_ki,activations_per_ki";
 
 /// Renders the campaign as pretty JSON (full [`RunResult`]s plus
@@ -25,12 +33,26 @@ pub fn to_csv(results: &CampaignResult) -> String {
     for cell in results.cells() {
         let r = &cell.run;
         let speedup = cell.speedup.map(|s| format!("{s:.6}")).unwrap_or_default();
+        // The geometry the design actually ran: a scenario's page/way
+        // override does not apply to Unison1984/UnisonAssoc rows (the
+        // variant pins that knob), and none of them apply to Alloy/
+        // Footprint/Ideal/NoCache rows.
+        let geometry =
+            unison_sim::Design::from_name(&r.design).and_then(|d| d.unison_geometry(&cell.system));
+        let opt = |v: Option<String>| v.unwrap_or_default();
         out.push_str(&format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{:.4}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{:.4}\n",
             csv_field(&r.workload),
             csv_field(&r.design),
             r.cache_bytes,
             cell.seed,
+            csv_field(&cell.scenario),
+            cell.cores,
+            opt(geometry.map(|(page_bytes, _, _)| page_bytes.to_string())),
+            opt(geometry.map(|(_, ways, _)| ways.to_string())),
+            opt(geometry.map(|(_, _, policy)| policy.name().to_string())),
+            cell.system.stacked.name(),
+            cell.system.offchip.name(),
             speedup,
             r.uipc,
             r.cache.miss_ratio(),
@@ -65,12 +87,12 @@ fn csv_field(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Campaign, ExperimentGrid};
+    use crate::{Campaign, ScenarioGrid};
     use unison_sim::{Design, SimConfig};
     use unison_trace::workloads;
 
     fn small_result() -> CampaignResult {
-        let grid = ExperimentGrid::new()
+        let grid = ScenarioGrid::new()
             .designs([Design::Unison])
             .workloads([workloads::web_search()])
             .sizes([256 << 20]);
@@ -104,5 +126,42 @@ mod tests {
     fn csv_quotes_fields_with_commas() {
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn csv_geometry_columns_report_what_actually_ran() {
+        use unison_sim::{Scenario, SystemSpec};
+        // A scenario overriding page size and ways, against a design that
+        // pins its page size (Unison1984) and one the knobs don't apply
+        // to (Alloy).
+        let scenario = Scenario::from_spec(SystemSpec {
+            page_bytes: Some(448),
+            ways: Some(8),
+            ..SystemSpec::default()
+        });
+        let grid = ScenarioGrid::new()
+            .designs([Design::Unison1984, Design::Alloy])
+            .workloads([workloads::web_search()])
+            .sizes([256 << 20])
+            .scenario(scenario);
+        let csv = to_csv(&Campaign::new(SimConfig::quick_test()).threads(1).run(&grid));
+        let row = |design: &str| {
+            csv.lines()
+                .find(|l| l.contains(design))
+                .unwrap_or_else(|| panic!("no {design} row in\n{csv}"))
+                .to_string()
+        };
+        // Unison1984 pins 1984 B pages; the scenario's ways apply.
+        assert!(
+            row("Unison-1984B").contains(",1984,8,predict,"),
+            "row must describe the simulated geometry: {}",
+            row("Unison-1984B")
+        );
+        // Alloy has no page/way geometry: columns stay empty.
+        assert!(
+            row("Alloy").contains(",,,,stacked,"),
+            "non-Unison rows leave geometry blank: {}",
+            row("Alloy")
+        );
     }
 }

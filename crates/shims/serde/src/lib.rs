@@ -1,11 +1,12 @@
 //! Local stand-in for the subset of `serde` this workspace uses.
 //!
 //! The build environment has no access to a crates registry, so this shim
-//! provides a value-tree [`Serialize`] trait, a marker [`Deserialize`]
+//! provides a value-tree [`Serialize`] trait, a value-tree [`Deserialize`]
 //! trait, and re-exports the matching derive macros. The companion
-//! `serde_json` shim renders [`Value`] trees as JSON. The derive syntax
-//! (`#[derive(Serialize, Deserialize)]`) and trait paths match the real
-//! crate, so swapping the real serde back in is a manifest-only change.
+//! `serde_json` shim renders [`Value`] trees as JSON and parses JSON back
+//! into them. The derive syntax (`#[derive(Serialize, Deserialize)]`) and
+//! trait paths match the real crate, so swapping the real serde back in is
+//! a manifest-only change.
 
 #![forbid(unsafe_code)]
 
@@ -43,10 +44,275 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait paired with the `Deserialize` derive. The shim does not
-/// implement deserialization (nothing in-tree reads serialized data back);
-/// deriving it keeps type definitions source-compatible with real serde.
-pub trait Deserialize {}
+/// Deserialization error: a human-readable description of the first
+/// mismatch between a [`Value`] tree and the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types reconstructible from a [`Value`] tree (the inverse of
+/// [`Serialize`]; real serde's `Deserialize`, minus the `Deserializer`
+/// indirection the shim does not need).
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a serialized value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first structural or type
+    /// mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Value {
+    /// Short description of the value's JSON kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Expects `v` to be an object, for deserializing type `ty`.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] naming `ty` and the actual kind otherwise.
+pub fn expect_obj<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Obj(entries) => Ok(entries),
+        other => Err(DeError::msg(format!(
+            "expected a JSON object for {ty}, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expects `v` to be an array of exactly `len` elements.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] naming `ty` on a non-array or a length mismatch.
+pub fn expect_arr<'v>(v: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], DeError> {
+    match v {
+        Value::Arr(items) if items.len() == len => Ok(items),
+        Value::Arr(items) => Err(DeError::msg(format!(
+            "expected {len} elements for {ty}, got {}",
+            items.len()
+        ))),
+        other => Err(DeError::msg(format!(
+            "expected a JSON array for {ty}, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Deserializes field `key` of struct `ty` from `obj`. A missing key is
+/// treated as `null` (so `Option` fields may be omitted); if the field
+/// type rejects `null`, the error reports the field as missing.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] locating the offending field.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::msg(format!("in field `{ty}.{key}`: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::msg(format!("missing field `{key}` of {ty}"))),
+    }
+}
+
+/// Rejects object keys outside `allowed` — config-file typos must fail
+/// loudly, not be silently ignored.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] naming the unknown key and the allowed set.
+pub fn deny_unknown(obj: &[(String, Value)], allowed: &[&str], ty: &str) -> Result<(), DeError> {
+    for (k, _) in obj {
+        if !allowed.contains(&k.as_str()) {
+            return Err(DeError::msg(format!(
+                "unknown field `{k}` of {ty} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Error for an enum payload that matches no variant of `ty`.
+pub fn unknown_variant(got: &str, ty: &str, variants: &[&str]) -> DeError {
+    DeError::msg(format!(
+        "unknown variant `{got}` of {ty} (expected one of: {})",
+        variants.join(", ")
+    ))
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected an unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::msg(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::msg(format!("{n} out of range for {}", stringify!($t)))
+                    })?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected an integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::msg(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!(
+                "expected a bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::msg(format!(
+                "expected a number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!(
+                "expected a string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Deserializing into `&'static str` leaks the parsed string. The only
+/// in-tree uses are display names of configuration types (workload and
+/// DRAM-config names), parsed a handful of times per process — a bounded,
+/// deliberate leak that keeps those structs `Copy`-friendly and
+/// zero-allocation on the hot (non-parsing) paths.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*s.leak())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!(
+                "expected an array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = expect_arr(v, 2, "a 2-tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
@@ -202,5 +468,101 @@ mod tests {
         );
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
         assert_eq!("s".to_value(), Value::Str("s".into()));
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        p: Point,
+        shapes: Vec<Shape>,
+        opt: Option<u32>,
+        flag: bool,
+        ratio: f64,
+    }
+
+    // `Shape` needs PartialEq/Debug for the round-trip assertions; the
+    // original derives above stay minimal on purpose.
+    impl PartialEq for Shape {
+        fn eq(&self, other: &Self) -> bool {
+            self.to_value() == other.to_value()
+        }
+    }
+    impl std::fmt::Debug for Shape {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{:?}", self.to_value())
+        }
+    }
+    impl PartialEq for Point {
+        fn eq(&self, other: &Self) -> bool {
+            self.x == other.x && self.label == other.label
+        }
+    }
+    impl std::fmt::Debug for Point {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Point({}, {:?})", self.x, self.label)
+        }
+    }
+
+    #[test]
+    fn derive_round_trips_through_value() {
+        let n = Nested {
+            p: Point {
+                x: 9,
+                label: "hi".into(),
+            },
+            shapes: vec![Shape::Unit, Shape::Tuple(4), Shape::Named { a: 1, b: true }],
+            opt: Some(7),
+            flag: false,
+            ratio: 2.5,
+        };
+        let back = Nested::from_value(&n.to_value()).expect("round trip");
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let v = Value::Obj(vec![
+            (
+                "p".into(),
+                Value::Obj(vec![
+                    ("x".into(), Value::U64(1)),
+                    ("label".into(), Value::Str("l".into())),
+                ]),
+            ),
+            ("shapes".into(), Value::Arr(vec![])),
+            ("flag".into(), Value::Bool(true)),
+            ("ratio".into(), Value::U64(3)),
+        ]);
+        let n = Nested::from_value(&v).expect("opt omitted is None");
+        assert_eq!(n.opt, None);
+        assert_eq!(n.ratio, 3.0, "integer values coerce into f64 fields");
+    }
+
+    #[test]
+    fn missing_required_field_and_unknown_key_error() {
+        let missing = Value::Obj(vec![("x".into(), Value::U64(1))]);
+        let e = Point::from_value(&missing).unwrap_err();
+        assert!(e.0.contains("missing field `label`"), "{e}");
+
+        let unknown = Value::Obj(vec![
+            ("x".into(), Value::U64(1)),
+            ("label".into(), Value::Str("l".into())),
+            ("typo".into(), Value::U64(0)),
+        ]);
+        let e = Point::from_value(&unknown).unwrap_err();
+        assert!(e.0.contains("unknown field `typo`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_enum_variant_lists_the_valid_ones() {
+        let e = Shape::from_value(&Value::Str("Blob".into())).unwrap_err();
+        assert!(e.0.contains("Unit"), "{e}");
+        assert!(e.0.contains("Named"), "{e}");
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(5)).unwrap(), 5);
     }
 }

@@ -44,11 +44,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive shim generated invalid Serialize impl")
 }
 
-/// Derives the shim's (marker) `serde::Deserialize` for a type.
+/// Derives the shim's `serde::Deserialize` (`from_value`) for a type,
+/// inverting exactly the value-tree layout the `Serialize` derive emits.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+    gen_deserialize(&item)
         .parse()
         .expect("serde_derive shim generated invalid Deserialize impl")
 }
@@ -251,4 +252,129 @@ fn gen_serialize(item: &Item) -> String {
         "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {}\n    }}\n}}",
         item.name, body
     )
+}
+
+fn quoted_list(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\", \"{ty}\")?,"))
+                .collect();
+            format!(
+                "let obj = ::serde::expect_obj(v, \"{ty}\")?;\n        \
+                 ::serde::deny_unknown(obj, &[{}], \"{ty}\")?;\n        \
+                 ::std::result::Result::Ok({ty} {{ {} }})",
+                quoted_list(fields),
+                inits.join(" ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::expect_arr(v, {n}, \"{ty}\")?;\n        \
+                 ::std::result::Result::Ok({ty}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({ty})"),
+        Kind::Enum(variants) => gen_deserialize_enum(ty, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {ty} {{\n    \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        \
+         {body}\n    }}\n}}"
+    )
+}
+
+fn gen_deserialize_enum(ty: &str, variants: &[Variant]) -> String {
+    let all_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+    let variant_list = quoted_list(&all_names);
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, VariantFields::Unit))
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit.is_empty() {
+        let unit_arms: Vec<String> = unit
+            .iter()
+            .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({ty}::{0}),", v.name))
+            .collect();
+        arms.push(format!(
+            "::serde::Value::Str(s) => match s.as_str() {{ {} other => \
+             ::std::result::Result::Err(::serde::unknown_variant(other, \"{ty}\", &[{variant_list}])), }}",
+            unit_arms.join(" ")
+        ));
+    }
+    if !payload.is_empty() {
+        let payload_arms: Vec<String> = payload
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                let build = match &v.fields {
+                    VariantFields::Unit => unreachable!("filtered above"),
+                    VariantFields::Tuple(1) => format!(
+                        "::std::result::Result::Ok({ty}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                    ),
+                    VariantFields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        format!(
+                            "{{ let items = ::serde::expect_arr(inner, {n}, \"{ty}::{vn}\")?; \
+                             ::std::result::Result::Ok({ty}::{vn}({})) }}",
+                            elems.join(", ")
+                        )
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::field(obj, \"{f}\", \"{ty}::{vn}\")?,")
+                            })
+                            .collect();
+                        format!(
+                            "{{ let obj = ::serde::expect_obj(inner, \"{ty}::{vn}\")?; \
+                             ::serde::deny_unknown(obj, &[{}], \"{ty}::{vn}\")?; \
+                             ::std::result::Result::Ok({ty}::{vn} {{ {} }}) }}",
+                            quoted_list(fields),
+                            inits.join(" ")
+                        )
+                    }
+                };
+                format!("\"{vn}\" => {build},")
+            })
+            .collect();
+        arms.push(format!(
+            "::serde::Value::Obj(entries) if entries.len() == 1 => {{ \
+             let (key, inner) = &entries[0]; \
+             match key.as_str() {{ {} other => \
+             ::std::result::Result::Err(::serde::unknown_variant(other, \"{ty}\", &[{variant_list}])), }} }}",
+            payload_arms.join(" ")
+        ));
+    }
+    arms.push(format!(
+        "other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+         \"expected a {ty} variant, got {{}}\", other.kind())))"
+    ));
+    format!("match v {{ {} }}", arms.join(" "))
 }

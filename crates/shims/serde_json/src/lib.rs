@@ -1,19 +1,21 @@
 //! Local stand-in for the subset of `serde_json` this workspace uses:
-//! [`to_string`] and [`to_string_pretty`] over the shim `serde::Serialize`.
+//! [`to_string`] / [`to_string_pretty`] over the shim `serde::Serialize`,
+//! and [`from_str`] / [`from_value`] over the shim `serde::Deserialize`
+//! (backed by the hand-rolled recursive-descent parser in [`parse`]).
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
-/// Serialization error. The shim renderer is total, so this is never
-/// actually produced; it exists to keep call sites (`?`, `.expect(..)`)
-/// source-compatible with real serde_json.
+/// Serialization or deserialization error. The shim renderer is total, so
+/// serialization never actually produces one; parsing and deserialization
+/// report the first syntax or shape mismatch.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.0)
     }
 }
 
@@ -31,6 +33,254 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses `s` into a [`Value`] tree and deserializes `T` from it.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or when the value tree does not
+/// match `T`'s shape.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserializes `T` from an already-parsed [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the value tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses `s` as one JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error (with a byte
+/// offset) or trailing non-whitespace input.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("unpaired surrogate escape"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                            // hex4 leaves pos after the digits; skip the
+                            // outer `pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid; copy the whole scalar).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let Some(digits) = self.bytes.get(self.pos..end) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            // Out-of-range integers fall through to f64, like real
+            // serde_json's arbitrary-precision-off behaviour.
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
 }
 
 fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -146,5 +396,84 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Value::Arr(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Obj(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("42").unwrap(), Value::U64(42));
+        assert_eq!(parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Obj(vec![
+                (
+                    "a".into(),
+                    Value::Arr(vec![
+                        Value::U64(1),
+                        Value::Obj(vec![("b".into(), Value::Null)])
+                    ])
+                ),
+                ("c".into(), Value::Str("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            parse("\"a\\\"b\\\\c\\nd\"").unwrap(),
+            Value::Str("a\"b\\c\nd".into())
+        );
+        // \u escapes, including a surrogate pair (U+1F600).
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired surrogate");
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_render_and_parse() {
+        let v = Value::Obj(vec![
+            ("n".into(), Value::U64(3)),
+            ("neg".into(), Value::I64(-9)),
+            ("x".into(), Value::F64(1.25)),
+            ("s".into(), Value::Str("a\"b\n".into())),
+            (
+                "list".into(),
+                Value::Arr(vec![Value::Bool(false), Value::Null]),
+            ),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(parse(&rendered).unwrap(), v, "via {rendered}");
+        }
+    }
+
+    #[test]
+    fn from_str_deserializes_typed_values() {
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let o: Option<String> = from_str("null").unwrap();
+        assert_eq!(o, None);
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
     }
 }

@@ -5,7 +5,7 @@ use unison_dram::{cpu_cycles_to_ps, Ps};
 
 /// Timing parameters of one modeled core (an ARM Cortex-A15-like 3-way
 /// OoO at 3 GHz, per Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct CoreParams {
     /// Sustained non-memory IPC: how fast instruction gaps between
     /// post-L2 accesses retire (includes L1/L2 hit costs, which are part
@@ -26,6 +26,35 @@ impl Default for CoreParams {
             overlap_cycles: 24,
             stall_on_stores: false,
         }
+    }
+}
+
+/// Manual deserialization so scenario files may override a single core
+/// knob (`{"ipc_base": 4.0}`) without restating the rest.
+impl Deserialize for CoreParams {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = serde::expect_obj(v, "CoreParams")?;
+        serde::deny_unknown(
+            obj,
+            &["ipc_base", "overlap_cycles", "stall_on_stores"],
+            "CoreParams",
+        )?;
+        let d = CoreParams::default();
+        let pick = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        Ok(CoreParams {
+            ipc_base: match pick("ipc_base") {
+                Some(v) => f64::from_value(v)?,
+                None => d.ipc_base,
+            },
+            overlap_cycles: match pick("overlap_cycles") {
+                Some(v) => u64::from_value(v)?,
+                None => d.overlap_cycles,
+            },
+            stall_on_stores: match pick("stall_on_stores") {
+                Some(v) => bool::from_value(v)?,
+                None => d.stall_on_stores,
+            },
+        })
     }
 }
 

@@ -36,6 +36,7 @@
 mod core_model;
 mod metrics;
 mod runner;
+pub mod scenario;
 mod system;
 
 pub use core_model::CoreParams;
@@ -45,4 +46,5 @@ pub use runner::{
     run_speedup_with_baseline, run_speedup_with_baseline_source, Design, SimConfig, SpeedupResult,
     TracePlan, TraceSource,
 };
+pub use scenario::{scenarios_from_json, Scenario, SystemSpec};
 pub use system::System;

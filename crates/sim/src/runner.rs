@@ -2,13 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 use unison_core::{
-    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache, MemPorts,
-    NoCache, UnisonCache, UnisonConfig,
+    AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, IdealCache, NoCache,
+    UnisonCache, UnisonConfig,
 };
 use unison_trace::{artifact_key, TraceArtifact, TraceRecord, WorkloadGen, WorkloadSpec};
 
-use crate::core_model::CoreParams;
 use crate::metrics::RunResult;
+use crate::scenario::SystemSpec;
 use crate::system::System;
 
 /// The cache designs the experiments compare.
@@ -44,6 +44,24 @@ impl Design {
         }
     }
 
+    /// The valid CLI spellings, for error messages.
+    pub const VALID_NAMES: &'static str =
+        "alloy, footprint, unison, unison1984, unison-<N>way, ideal, nocache";
+
+    /// [`Design::from_name`] with an error that lists the valid names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full valid-name list when `name` matches no design.
+    pub fn parse(name: &str) -> Result<Design, String> {
+        Self::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown design {name:?} (valid designs: {})",
+                Self::VALID_NAMES
+            )
+        })
+    }
+
     /// Parses a design from a user-facing name (CLI spelling). Accepts
     /// the display names of [`Design::name`] case-insensitively plus the
     /// shorthands `unison-<N>way` and `unison1984`.
@@ -68,40 +86,89 @@ impl Design {
         }
     }
 
-    /// Instantiates the design at `cache_bytes`.
+    /// Instantiates the design at `cache_bytes` on the default system.
     pub fn build(&self, cache_bytes: u64) -> Box<dyn DramCacheModel> {
-        self.build_scaled(cache_bytes, cache_bytes)
+        self.build_scaled(cache_bytes, cache_bytes, &SystemSpec::default())
+    }
+
+    /// The Unison-family cache geometry this design runs under `system`:
+    /// the scenario's overrides fill whatever the design variant does not
+    /// itself pin (`Unison1984` keeps its 1984 B pages, `UnisonAssoc`
+    /// its way count), and the paper defaults fill the rest. Plain
+    /// `Design::Unison` takes all three knobs from the scenario.
+    fn unison_config(&self, scaled_bytes: u64, system: &SystemSpec) -> UnisonConfig {
+        let base = UnisonConfig::new(scaled_bytes);
+        let page_blocks = system
+            .page_blocks()
+            .unwrap_or(crate::scenario::DEFAULT_PAGE_BYTES / 64);
+        let ways = system.ways.unwrap_or(crate::scenario::DEFAULT_WAYS);
+        let policy = system.way_policy.unwrap_or(base.way_policy);
+        let cfg = base
+            .with_page_blocks(page_blocks)
+            .with_assoc(ways)
+            .with_way_policy(policy);
+        match self {
+            Design::Unison1984 => cfg.with_page_blocks(31),
+            Design::UnisonAssoc(w) => cfg.with_assoc(*w),
+            _ => cfg,
+        }
+    }
+
+    /// The page size (bytes), ways, and way policy this design **actually
+    /// runs** under `system` — the design variant's pinned knobs win over
+    /// the scenario's overrides, exactly as [`Design::build_scaled`]
+    /// resolves them. `None` for designs the geometry knobs do not apply
+    /// to (Alloy, Footprint, Ideal, NoCache). Result sinks use this so
+    /// their geometry columns describe the simulated cache, not merely
+    /// the requested overrides.
+    pub fn unison_geometry(
+        &self,
+        system: &SystemSpec,
+    ) -> Option<(u32, u32, unison_core::WayPolicy)> {
+        match self {
+            Design::Unison | Design::Unison1984 | Design::UnisonAssoc(_) => {
+                // The three knobs are capacity-independent; the size fed
+                // here never reaches the caller.
+                let cfg = self.unison_config(1 << 20, system);
+                Some((cfg.page_blocks * 64, cfg.assoc, cfg.way_policy))
+            }
+            _ => None,
+        }
     }
 
     /// Instantiates the design at the *scaled* capacity while deriving
     /// size-dependent structures (Footprint Cache's SRAM tag latency, the
     /// way-predictor sizing rule) from the *nominal* paper-labeled size —
     /// those latencies are the effect under study and must not shrink
-    /// with the fast-run scale factor.
-    pub fn build_scaled(&self, scaled_bytes: u64, nominal_bytes: u64) -> Box<dyn DramCacheModel> {
+    /// with the fast-run scale factor. Cache-geometry overrides come from
+    /// `system` ([`SystemSpec`]); they apply to the Unison family (page
+    /// size, ways, way policy) and leave the block-based Alloy and the
+    /// SRAM-tag Footprint baselines at their published organizations.
+    pub fn build_scaled(
+        &self,
+        scaled_bytes: u64,
+        nominal_bytes: u64,
+        system: &SystemSpec,
+    ) -> Box<dyn DramCacheModel> {
         match self {
             Design::Alloy => Box::new(AlloyCache::new(AlloyConfig::new(scaled_bytes))),
             Design::Footprint => Box::new(FootprintCache::new(
                 FootprintConfig::new(scaled_bytes).with_nominal(nominal_bytes),
             )),
-            Design::Unison => Box::new(UnisonCache::new(
-                UnisonConfig::new(scaled_bytes).with_nominal(nominal_bytes),
-            )),
-            Design::Unison1984 => Box::new(UnisonCache::new(
-                UnisonConfig::large_pages(scaled_bytes).with_nominal(nominal_bytes),
-            )),
-            Design::UnisonAssoc(w) => Box::new(UnisonCache::new(
-                UnisonConfig::new(scaled_bytes)
-                    .with_assoc(*w)
-                    .with_nominal(nominal_bytes),
-            )),
+            Design::Unison | Design::Unison1984 | Design::UnisonAssoc(_) => {
+                Box::new(UnisonCache::new(
+                    self.unison_config(scaled_bytes, system)
+                        .with_nominal(nominal_bytes),
+                ))
+            }
             Design::Ideal => Box::new(IdealCache::new(scaled_bytes)),
             Design::NoCache => Box::new(NoCache::new()),
         }
     }
 }
 
-/// Simulation-scale parameters shared by all experiments.
+/// Simulation-scale parameters shared by all experiments, plus the
+/// [`SystemSpec`] naming the machine the experiment simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Total trace records per run (warmup + measurement).
@@ -109,8 +176,10 @@ pub struct SimConfig {
     /// Fraction of records used for warmup (statistics discarded). The
     /// paper uses two thirds of each trace (§IV-A).
     pub warmup_fraction: f64,
-    /// Core timing parameters.
-    pub core: CoreParams,
+    /// The simulated machine: core count/model, cache geometry
+    /// overrides, DRAM device presets. [`SystemSpec::default`] is the
+    /// paper's Table III system.
+    pub system: SystemSpec,
     /// Trace seed.
     pub seed: u64,
     /// Divide workload footprints *and* cache sizes by this factor to
@@ -125,7 +194,7 @@ impl SimConfig {
         SimConfig {
             accesses: 24_000_000,
             warmup_fraction: 2.0 / 3.0,
-            core: CoreParams::default(),
+            system: SystemSpec::default(),
             seed: 42,
             scale: 1,
         }
@@ -137,7 +206,7 @@ impl SimConfig {
         SimConfig {
             accesses: 6_000_000,
             warmup_fraction: 2.0 / 3.0,
-            core: CoreParams::default(),
+            system: SystemSpec::default(),
             seed: 42,
             scale: 8,
         }
@@ -148,7 +217,7 @@ impl SimConfig {
         SimConfig {
             accesses: 120_000,
             warmup_fraction: 0.5,
-            core: CoreParams::default(),
+            system: SystemSpec::default(),
             seed: 42,
             scale: 64,
         }
@@ -170,8 +239,13 @@ impl SimConfig {
     /// The trace a run of nominal `cache_bytes` over `spec` requires —
     /// the **single source of truth** both for [`run_experiment`]'s live
     /// generation and for trace-artifact stores deciding what to freeze.
+    ///
+    /// The system spec's core-count override is applied *before* scaling,
+    /// so the scaled spec (and therefore every artifact key and baseline
+    /// memo key derived from it) reflects the machine actually simulated:
+    /// scenarios differing in core count never share a trace.
     pub fn trace_plan(&self, spec: &WorkloadSpec, cache_bytes: u64) -> TracePlan {
-        let scaled_spec = spec.clone().scaled(self.scale);
+        let scaled_spec = self.system.effective_workload(spec).scaled(self.scale);
         let total = self.accesses_for(self.scaled_cache_bytes(cache_bytes));
         TracePlan {
             scaled_spec,
@@ -387,7 +461,7 @@ fn drive<I: Iterator<Item = TraceRecord>>(
             drive_cache(NoCache::new(), design, cache_bytes, spec, cfg, trace, total)
         }
         _ => drive_cache(
-            design.build_scaled(scaled_cache, cache_bytes.max(1)),
+            design.build_scaled(scaled_cache, cache_bytes.max(1), &cfg.system),
             design,
             cache_bytes,
             spec,
@@ -408,10 +482,10 @@ fn drive_cache<C: DramCacheModel, I: Iterator<Item = TraceRecord>>(
     total: u64,
 ) -> RunResult {
     let mut sys = System::new(
-        spec.cores as usize,
+        cfg.system.resolved_cores(spec) as usize,
         cache,
-        MemPorts::paper_default(),
-        cfg.core,
+        cfg.system.mem_ports(),
+        cfg.system.core,
     );
 
     let warmup = (total as f64 * cfg.warmup_fraction) as u64;

@@ -1,0 +1,496 @@
+//! The scenario layer: typed, serializable system specifications.
+//!
+//! A [`SystemSpec`] names every machine-level knob an experiment can vary
+//! — core count and core timing model, Unison cache geometry (page size,
+//! associativity, way-location policy), and the DRAM timing/energy
+//! presets of both the stacked and the off-chip device. It is the single
+//! source of truth that flows from the harness's grids through
+//! [`SimConfig`](crate::SimConfig) into
+//! [`Design::build_scaled`](crate::Design::build_scaled),
+//! `unison_core` constructors, and `unison_dram` device models.
+//!
+//! A [`Scenario`] is a named `SystemSpec` — the unit the harness sweeps
+//! as an axis and the unit `sweep --scenario FILE.json` loads from disk.
+//! JSON files may be partial: omitted fields keep their defaults, so
+//! `{"cores": 4}` is a complete, valid scenario. Unknown fields are
+//! rejected (a typo must not silently run the default machine).
+//!
+//! [`Scenario::default`] reproduces the seed-era constants exactly — a
+//! default-scenario campaign is bit-identical to the pre-scenario tree
+//! (pinned by the golden fixtures under `tests/golden/`).
+
+use serde::{Deserialize, Serialize};
+use unison_core::{MemPorts, WayPolicy};
+use unison_dram::DramPreset;
+use unison_trace::WorkloadSpec;
+
+use crate::core_model::CoreParams;
+
+/// Default Unison page size in bytes (15 blocks of 64 B — §III).
+pub const DEFAULT_PAGE_BYTES: u32 = 960;
+
+/// Default Unison associativity (§IV-C.1).
+pub const DEFAULT_WAYS: u32 = 4;
+
+/// Full machine-level parameterization of one simulated system.
+///
+/// `cores`, `page_bytes`, `ways`, and `way_policy` are optional
+/// *overrides*: `None` means "whatever the workload or design would use
+/// on its own" (16 cores for every preset workload; 960 B / 4-way /
+/// prediction for `Design::Unison`, with `Design::Unison1984` and
+/// `Design::UnisonAssoc` keeping their variant-specific geometry). The
+/// DRAM presets and the core timing model are always concrete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SystemSpec {
+    /// Core-count override; `None` runs the workload's own pod size.
+    pub cores: Option<u32>,
+    /// Core timing model (interval-style; Table III's A15-like OoO).
+    pub core: CoreParams,
+    /// Unison-family page-size override in bytes. Must be `64 × (2^n − 1)`
+    /// (192, 448, 960, 1984, 4032 …) for the residue mapper.
+    pub page_bytes: Option<u32>,
+    /// Unison-family associativity override.
+    pub ways: Option<u32>,
+    /// Unison-family way-location policy override.
+    pub way_policy: Option<WayPolicy>,
+    /// Die-stacked DRAM device preset.
+    pub stacked: DramPreset,
+    /// Off-chip DRAM device preset.
+    pub offchip: DramPreset,
+}
+
+impl Default for SystemSpec {
+    /// The seed-era machine: Table III devices, default core model, no
+    /// geometry overrides.
+    fn default() -> Self {
+        SystemSpec {
+            cores: None,
+            core: CoreParams::default(),
+            page_bytes: None,
+            ways: None,
+            way_policy: None,
+            stacked: DramPreset::Stacked,
+            offchip: DramPreset::Ddr3_1600,
+        }
+    }
+}
+
+impl SystemSpec {
+    const FIELDS: [&'static str; 7] = [
+        "cores",
+        "core",
+        "page_bytes",
+        "ways",
+        "way_policy",
+        "stacked",
+        "offchip",
+    ];
+
+    /// Checks every knob for a physically meaningful value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid knob: a zero or >256
+    /// core count (trace records carry `u8` core ids), a page size that
+    /// the residue mapper cannot index or a DRAM row cannot hold, zero
+    /// or >256 ways, or a non-positive base IPC. Validating here turns
+    /// what would be asserts deep inside cache construction — mid-
+    /// campaign, on a worker thread — into clean CLI/config errors.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(c) = self.cores {
+            if c == 0 || c > 256 {
+                return Err(format!("cores must be within 1..=256, got {c}"));
+            }
+        }
+        if let Some(pb) = self.page_bytes {
+            let blocks = pb / 64;
+            if pb == 0 || pb % 64 != 0 || blocks < 3 || !(blocks + 1).is_power_of_two() {
+                return Err(format!(
+                    "page_bytes must be 64 x (2^n - 1) with n >= 2 \
+                     (192, 448, 960, 1984, 4032, 8128), got {pb}"
+                ));
+            }
+            // 8128 B (127 blocks) is the largest page that still fits in
+            // an 8 KB DRAM row alongside its set metadata; bigger values
+            // would assert inside UnisonRowLayout mid-campaign.
+            if blocks > 127 {
+                return Err(format!(
+                    "page_bytes must be at most 8128 (page plus set metadata \
+                     must fit in an 8 KB DRAM row), got {pb}"
+                ));
+            }
+        }
+        if let Some(w) = self.ways {
+            if w == 0 || w > 128 {
+                // The paper tops out at 32 ways. 128 leaves room for
+                // exploration while guaranteeing at least one full set at
+                // the 1 MB scaled-cache floor even with the largest
+                // (8128 B) pages; beyond that, tiny quick-scale runs
+                // would assert "cache too small" mid-campaign.
+                return Err(format!("ways must be within 1..=128, got {w}"));
+            }
+        }
+        if !(self.core.ipc_base > 0.0 && self.core.ipc_base.is_finite()) {
+            return Err(format!(
+                "core.ipc_base must be positive and finite, got {}",
+                self.core.ipc_base
+            ));
+        }
+        Ok(())
+    }
+
+    /// The workload this system actually runs: `spec` with the core-count
+    /// override applied. Trace generation, artifact keys, and baseline
+    /// memo keys all derive from this, so a core-count change re-keys
+    /// every store automatically. A `Some(c)` equal to the workload's own
+    /// count yields an identical spec (and therefore identical keys) to
+    /// `None`.
+    pub fn effective_workload(&self, spec: &WorkloadSpec) -> WorkloadSpec {
+        let mut out = spec.clone();
+        if let Some(c) = self.cores {
+            out.cores = c;
+        }
+        out
+    }
+
+    /// The core count a run over `spec` drives.
+    pub fn resolved_cores(&self, spec: &WorkloadSpec) -> u32 {
+        self.cores.unwrap_or(spec.cores)
+    }
+
+    /// Builds the two DRAM device models this spec names.
+    pub fn mem_ports(&self) -> MemPorts {
+        MemPorts::new(self.stacked.config(), self.offchip.config())
+    }
+
+    /// Page size in blocks, when overridden (validated to be `2^n − 1`).
+    pub fn page_blocks(&self) -> Option<u32> {
+        self.page_bytes.map(|pb| pb / 64)
+    }
+
+    /// Compact human-readable label naming every *non-default* knob
+    /// (`"c4+ways8+stacked-2x"`), or `"default"`. Used as the implicit
+    /// scenario name for axis-flag cross products and bare spec files.
+    pub fn label(&self) -> String {
+        let d = SystemSpec::default();
+        let mut parts = Vec::new();
+        if let Some(c) = self.cores {
+            parts.push(format!("c{c}"));
+        }
+        // Name every differing core-model subfield: two specs differing
+        // only in overlap_cycles (or stall_on_stores) must not collide on
+        // an implicit name.
+        if self.core.ipc_base != d.core.ipc_base {
+            parts.push(format!("ipc{}", self.core.ipc_base));
+        }
+        if self.core.overlap_cycles != d.core.overlap_cycles {
+            parts.push(format!("ov{}", self.core.overlap_cycles));
+        }
+        if self.core.stall_on_stores != d.core.stall_on_stores {
+            parts.push("stall-stores".to_string());
+        }
+        if let Some(pb) = self.page_bytes {
+            parts.push(format!("page{pb}"));
+        }
+        if let Some(w) = self.ways {
+            parts.push(format!("ways{w}"));
+        }
+        if let Some(p) = self.way_policy {
+            parts.push(p.name().to_string());
+        }
+        if self.stacked != d.stacked {
+            parts.push(self.stacked.name().to_string());
+        }
+        if self.offchip != d.offchip {
+            parts.push(self.offchip.name().to_string());
+        }
+        if parts.is_empty() {
+            "default".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Manual deserialization so scenario files may be **partial**: any
+/// omitted field keeps its [`SystemSpec::default`] value. (The derive
+/// would demand every field, which is hostile for config files whose
+/// point is overriding one knob.)
+impl Deserialize for SystemSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = serde::expect_obj(v, "SystemSpec")?;
+        serde::deny_unknown(obj, &Self::FIELDS, "SystemSpec")?;
+        let d = SystemSpec::default();
+        let spec = SystemSpec {
+            cores: serde::field(obj, "cores", "SystemSpec")?,
+            core: opt_field(obj, "core", d.core)?,
+            page_bytes: serde::field(obj, "page_bytes", "SystemSpec")?,
+            ways: serde::field(obj, "ways", "SystemSpec")?,
+            way_policy: serde::field(obj, "way_policy", "SystemSpec")?,
+            stacked: opt_field(obj, "stacked", d.stacked)?,
+            offchip: opt_field(obj, "offchip", d.offchip)?,
+        };
+        spec.validate().map_err(serde::DeError::msg)?;
+        Ok(spec)
+    }
+}
+
+/// Deserializes `key` if present (and non-null), else returns `default`.
+fn opt_field<T: Deserialize>(
+    obj: &[(String, serde::Value)],
+    key: &str,
+    default: T,
+) -> Result<T, serde::DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, serde::Value::Null)) | None => Ok(default),
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| serde::DeError::msg(format!("in field `{key}`: {e}")))
+        }
+    }
+}
+
+/// A named [`SystemSpec`] — one point on the harness's scenario axis.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Display name (tables, CSV `scenario` column, progress lines).
+    pub name: String,
+    /// The machine this scenario runs.
+    pub system: SystemSpec,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "default".to_string(),
+            system: SystemSpec::default(),
+        }
+    }
+}
+
+impl Scenario {
+    /// Wraps a spec, naming it after its non-default knobs
+    /// ([`SystemSpec::label`]).
+    pub fn from_spec(system: SystemSpec) -> Self {
+        Scenario {
+            name: system.label(),
+            system,
+        }
+    }
+}
+
+/// Accepts either `{"name": ..., "system": {...}}` or a bare
+/// [`SystemSpec`] object (named after its non-default knobs).
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = serde::expect_obj(v, "Scenario")?;
+        if obj.iter().any(|(k, _)| k == "system") {
+            serde::deny_unknown(obj, &["name", "system"], "Scenario")?;
+            let system: SystemSpec = serde::field(obj, "system", "Scenario")?;
+            let name = opt_field(obj, "name", system.label())?;
+            Ok(Scenario { name, system })
+        } else {
+            SystemSpec::from_value(v).map(Scenario::from_spec)
+        }
+    }
+}
+
+/// Parses a scenario file: one scenario object or an array of them.
+///
+/// # Errors
+///
+/// Returns a message naming the first syntax error, unknown field,
+/// invalid knob value, or duplicate scenario name.
+pub fn scenarios_from_json(text: &str) -> Result<Vec<Scenario>, String> {
+    let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let scenarios: Vec<Scenario> = match &value {
+        serde::Value::Arr(items) => items
+            .iter()
+            .map(|v| Scenario::from_value(v).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?,
+        _ => vec![Scenario::from_value(&value).map_err(|e| e.to_string())?],
+    };
+    if scenarios.is_empty() {
+        return Err("scenario file contains an empty array".into());
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for s in &scenarios {
+        if seen.contains(&s.name.as_str()) {
+            return Err(format!(
+                "duplicate scenario name {:?}; results would be indistinguishable",
+                s.name
+            ));
+        }
+        seen.push(&s.name);
+    }
+    Ok(scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_the_seed_era_machine() {
+        let s = SystemSpec::default();
+        assert_eq!(s.cores, None);
+        assert_eq!(s.core, CoreParams::default());
+        assert_eq!(s.page_bytes, None);
+        assert_eq!(s.ways, None);
+        assert_eq!(s.way_policy, None);
+        assert_eq!(s.stacked, DramPreset::Stacked);
+        assert_eq!(s.offchip, DramPreset::Ddr3_1600);
+        assert_eq!(s.label(), "default");
+        assert_eq!(Scenario::default().name, "default");
+        s.validate().expect("default spec validates");
+    }
+
+    #[test]
+    fn partial_json_keeps_defaults() {
+        let s: SystemSpec = serde_json::from_str(r#"{"cores": 4}"#).unwrap();
+        assert_eq!(s.cores, Some(4));
+        assert_eq!(s.stacked, DramPreset::Stacked);
+        assert_eq!(s.label(), "c4");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let e = serde_json::from_str::<SystemSpec>(r#"{"coers": 4}"#).unwrap_err();
+        assert!(e.to_string().contains("unknown field"), "{e}");
+        assert!(e.to_string().contains("cores"), "error lists fields: {e}");
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        for bad in [
+            r#"{"cores": 0}"#,
+            r#"{"cores": 1000}"#,
+            r#"{"page_bytes": 1000}"#,
+            r#"{"page_bytes": 64}"#,
+            // 255 blocks passes the 2^n-1 shape but overflows a DRAM row.
+            r#"{"page_bytes": 16320}"#,
+            r#"{"ways": 0}"#,
+            // Beyond the 1..=128 cap: would hit "cache too small" asserts
+            // mid-campaign at quick scales.
+            r#"{"ways": 8192}"#,
+            r#"{"core": {"ipc_base": 0.0}}"#,
+            r#"{"stacked": "hbm9"}"#,
+            r#"{"way_policy": "psychic"}"#,
+        ] {
+            assert!(serde_json::from_str::<SystemSpec>(bad).is_err(), "{bad}");
+        }
+        // The largest row-fitting page is valid.
+        assert!(serde_json::from_str::<SystemSpec>(r#"{"page_bytes": 8128}"#).is_ok());
+    }
+
+    #[test]
+    fn spec_json_round_trips_identically() {
+        let exotic = SystemSpec {
+            cores: Some(32),
+            core: CoreParams {
+                ipc_base: 4.0,
+                overlap_cycles: 48,
+                stall_on_stores: true,
+            },
+            page_bytes: Some(1984),
+            ways: Some(8),
+            way_policy: Some(WayPolicy::SerialTagData),
+            stacked: DramPreset::Stacked2x,
+            offchip: DramPreset::Ddr4_2400,
+        };
+        for spec in [SystemSpec::default(), exotic] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: SystemSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn scenario_files_accept_bare_and_named_forms() {
+        let bare = scenarios_from_json(r#"{"ways": 8}"#).unwrap();
+        assert_eq!(bare.len(), 1);
+        assert_eq!(bare[0].name, "ways8");
+
+        let named =
+            scenarios_from_json(r#"[{"name": "big", "system": {"cores": 32}}, {"cores": 4}]"#)
+                .unwrap();
+        assert_eq!(named.len(), 2);
+        assert_eq!(named[0].name, "big");
+        assert_eq!(named[0].system.cores, Some(32));
+        assert_eq!(named[1].name, "c4");
+    }
+
+    #[test]
+    fn scenario_files_reject_duplicates_and_empties() {
+        assert!(scenarios_from_json("[]").unwrap_err().contains("empty"));
+        let dup = r#"[{"cores": 4}, {"cores": 4}]"#;
+        assert!(scenarios_from_json(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn effective_workload_rekeys_only_on_real_overrides() {
+        let w = unison_trace::workloads::web_search();
+        let default = SystemSpec::default();
+        assert_eq!(default.effective_workload(&w), w);
+
+        let same = SystemSpec {
+            cores: Some(w.cores),
+            ..SystemSpec::default()
+        };
+        assert_eq!(
+            same.effective_workload(&w),
+            w,
+            "explicit default core count must not re-key stores"
+        );
+
+        let quad = SystemSpec {
+            cores: Some(4),
+            ..SystemSpec::default()
+        };
+        let eff = quad.effective_workload(&w);
+        assert_eq!(eff.cores, 4);
+        assert_eq!(quad.resolved_cores(&w), 4);
+        assert_eq!(default.resolved_cores(&w), 16);
+    }
+
+    #[test]
+    fn labels_compose_in_field_order() {
+        let s = SystemSpec {
+            cores: Some(8),
+            ways: Some(2),
+            stacked: DramPreset::StackedHalf,
+            ..SystemSpec::default()
+        };
+        assert_eq!(s.label(), "c8+ways2+stacked-half");
+    }
+
+    #[test]
+    fn core_model_subfields_get_distinct_labels() {
+        // Two machines differing only in overlap_cycles (or the store
+        // stall flag) must not collide on an implicit name — a bare-spec
+        // scenario file sweeping the core-model axis relies on this.
+        let overlap = SystemSpec {
+            core: CoreParams {
+                overlap_cycles: 48,
+                ..CoreParams::default()
+            },
+            ..SystemSpec::default()
+        };
+        let stall = SystemSpec {
+            core: CoreParams {
+                stall_on_stores: true,
+                ..CoreParams::default()
+            },
+            ..SystemSpec::default()
+        };
+        assert_eq!(overlap.label(), "ov48");
+        assert_eq!(stall.label(), "stall-stores");
+        assert_ne!(overlap.label(), stall.label());
+        let both = scenarios_from_json(
+            r#"[{"core": {"overlap_cycles": 24}}, {"core": {"overlap_cycles": 48}}]"#,
+        )
+        .expect("distinct overlap machines are distinct scenarios");
+        assert_eq!(both[0].name, "default", "24 is the default overlap");
+        assert_eq!(both[1].name, "ov48");
+    }
+}

@@ -2,7 +2,7 @@
 //! execution must be byte-identical to serial, and baseline memoization
 //! must collapse redundant NoCache simulations.
 
-use unison_repro::harness::{sink, BaselineStore, Campaign, ExperimentGrid};
+use unison_repro::harness::{sink, BaselineStore, Campaign, ScenarioGrid};
 use unison_repro::sim::{Design, SimConfig};
 use unison_repro::trace::workloads;
 
@@ -17,7 +17,7 @@ fn tiny() -> SimConfig {
 
 #[test]
 fn parallel_campaign_is_byte_identical_to_serial() {
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Unison, Design::Alloy])
         .workloads([workloads::web_search(), workloads::data_serving()])
         .sizes([128 << 20, 512 << 20]);
@@ -39,7 +39,7 @@ fn parallel_campaign_is_byte_identical_to_serial() {
 fn fig7_shaped_grid_runs_exactly_one_baseline_per_workload() {
     // The acceptance grid: 4 designs x 4 sizes x 5 CloudSuite workloads.
     // 80 speedup cells, but exactly 5 NoCache baseline simulations.
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([
             Design::Alloy,
             Design::Footprint,
@@ -80,7 +80,7 @@ fn baseline_store_returns_identical_cached_results() {
 
 #[test]
 fn sinks_cover_every_cell() {
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Unison])
         .workloads([workloads::web_search()])
         .sizes([128 << 20, 256 << 20]);
@@ -105,7 +105,7 @@ fn grid_speedups_match_direct_run_speedup() {
     // loop computed: run_experiment(design)/run_experiment(NoCache).
     let cfg = tiny();
     let w = workloads::data_serving();
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Ideal])
         .workloads([w.clone()])
         .sizes([512 << 20]);

@@ -1,0 +1,358 @@
+//! Integration tests for the scenario layer.
+//!
+//! Three properties carry the refactor:
+//!
+//! 1. **Backward bit-identity** — the default [`Scenario`] reproduces the
+//!    seed-era constants, so default campaigns match the golden fixtures
+//!    under `tests/golden/` byte for byte (the fixtures themselves are
+//!    checked by `tests/soa_equivalence.rs`, which ran unchanged through
+//!    this refactor; here we pin the spec-level equalities that make that
+//!    so).
+//! 2. **Memo-key hygiene** — scenarios that simulate different machines
+//!    must never share a baseline or (when the trace differs) a frozen
+//!    trace artifact.
+//! 3. **Serde round-trip** — specs survive JSON → spec → JSON untouched,
+//!    and the checked-in `examples/scenarios/*.json` files load.
+
+use std::sync::Arc;
+
+use unison_repro::dram::DramPreset;
+use unison_repro::harness::{sink, BaselineStore, Campaign, ScenarioGrid, TraceStore};
+use unison_repro::sim::{
+    run_experiment, scenarios_from_json, CoreParams, Design, Scenario, SimConfig, SystemSpec,
+};
+use unison_repro::trace::{artifact_key, workloads};
+
+fn quick() -> SimConfig {
+    SimConfig::quick_test()
+}
+
+fn spec_with(f: impl FnOnce(&mut SystemSpec)) -> SystemSpec {
+    let mut s = SystemSpec::default();
+    f(&mut s);
+    s
+}
+
+// ---------------------------------------------------------------- defaults
+
+/// `Scenario::default()` must be the seed-era machine: Table III DRAM
+/// devices, the default core model, no geometry overrides — i.e. exactly
+/// the constants `run_experiment` hard-coded before the scenario layer.
+#[test]
+fn default_scenario_is_the_seed_era_machine() {
+    let s = Scenario::default();
+    assert_eq!(s.name, "default");
+    assert_eq!(s.system, SystemSpec::default());
+    assert_eq!(s.system.cores, None, "workload's own 16-core pod");
+    assert_eq!(s.system.core, CoreParams::default());
+    assert_eq!(s.system.page_bytes, None, "design default: 960 B pages");
+    assert_eq!(s.system.ways, None, "design default: 4-way");
+    assert_eq!(s.system.way_policy, None, "design default: way prediction");
+    assert_eq!(s.system.stacked, DramPreset::Stacked);
+    assert_eq!(s.system.offchip, DramPreset::Ddr3_1600);
+    // And the devices those presets name are the Table III pair.
+    assert_eq!(
+        s.system.stacked.config(),
+        unison_repro::dram::DramConfig::stacked()
+    );
+    assert_eq!(
+        s.system.offchip.config(),
+        unison_repro::dram::DramConfig::ddr3_1600()
+    );
+}
+
+/// A run under an *explicitly spelled-out* default scenario must be
+/// bit-identical to the plain default run — the same property the golden
+/// fixtures pin, expressed at the API level.
+#[test]
+fn explicit_default_scenario_matches_default_run_bit_for_bit() {
+    let cfg = quick();
+    let w = workloads::web_search();
+    let implicit = run_experiment(Design::Unison, 128 << 20, &w, &cfg);
+
+    let mut explicit_cfg = cfg;
+    explicit_cfg.system = SystemSpec {
+        cores: Some(16), // == every preset workload's own pod size
+        core: CoreParams::default(),
+        page_bytes: Some(960),
+        ways: Some(4),
+        way_policy: Some(unison_repro::core::WayPolicy::Predict),
+        stacked: DramPreset::Stacked,
+        offchip: DramPreset::Ddr3_1600,
+    };
+    let explicit = run_experiment(Design::Unison, 128 << 20, &w, &explicit_cfg);
+    assert_eq!(
+        serde_json::to_string(&implicit).unwrap(),
+        serde_json::to_string(&explicit).unwrap(),
+        "spelling out the defaults must not change a single bit"
+    );
+}
+
+/// Non-default knobs must actually reach the simulation: every axis the
+/// acceptance criteria name (core count, DRAM preset, way policy) changes
+/// the measured result.
+#[test]
+fn each_scenario_axis_changes_results() {
+    let cfg = quick();
+    let w = workloads::web_search();
+    let baseline = run_experiment(Design::Unison, 128 << 20, &w, &cfg);
+
+    let axes: Vec<(&str, SystemSpec)> = vec![
+        ("cores", spec_with(|s| s.cores = Some(4))),
+        (
+            "stacked preset",
+            spec_with(|s| s.stacked = DramPreset::StackedHalf),
+        ),
+        (
+            "offchip preset",
+            spec_with(|s| s.offchip = DramPreset::Ddr4_2400),
+        ),
+        (
+            "way policy",
+            spec_with(|s| s.way_policy = Some(unison_repro::core::WayPolicy::SerialTagData)),
+        ),
+        ("ways", spec_with(|s| s.ways = Some(1))),
+        ("page bytes", spec_with(|s| s.page_bytes = Some(1984))),
+    ];
+    for (what, system) in axes {
+        let mut c = cfg;
+        c.system = system;
+        let r = run_experiment(Design::Unison, 128 << 20, &w, &c);
+        assert_ne!(
+            r.elapsed_ps, baseline.elapsed_ps,
+            "{what} override did not reach the simulation"
+        );
+    }
+}
+
+// ---------------------------------------------------------- memo rekeying
+
+/// Two scenarios differing only in core count must not share a baseline
+/// *or* a trace artifact: the trace stream itself depends on the pod
+/// size, so both stores re-key.
+#[test]
+fn core_count_rekeys_baseline_and_trace_stores() {
+    let cfg = quick();
+    let w = workloads::web_search();
+    let four = spec_with(|s| s.cores = Some(4));
+
+    // Baseline store: two distinct simulations.
+    let baselines = BaselineStore::new(cfg);
+    let b16 = baselines.get_for_system(&w, &SystemSpec::default(), 42);
+    let b4 = baselines.get_for_system(&w, &four, 42);
+    assert_eq!(
+        baselines.computed_runs(),
+        2,
+        "no sharing across core counts"
+    );
+    assert_eq!(baselines.cache_hits(), 0);
+    assert_ne!(b16.uipc, b4.uipc);
+
+    // Trace store: the scaled specs differ, so the artifact keys differ.
+    let mut cfg4 = cfg;
+    cfg4.system = four;
+    let plan16 = cfg.trace_plan(&w, 128 << 20);
+    let plan4 = cfg4.trace_plan(&w, 128 << 20);
+    assert_ne!(
+        artifact_key(&plan16.scaled_spec, 42),
+        artifact_key(&plan4.scaled_spec, 42),
+        "core-count scenarios must freeze distinct artifacts"
+    );
+    let traces = TraceStore::new();
+    let a16 = traces.get(&plan16.scaled_spec, 42, 1_000);
+    let a4 = traces.get(&plan4.scaled_spec, 42, 1_000);
+    assert_eq!(traces.generated_traces(), 2, "one freeze per machine");
+    assert!(!Arc::ptr_eq(&a16, &a4));
+}
+
+/// Two scenarios differing only in DRAM preset must not share a baseline
+/// (the devices' timing changes every latency). The trace stream is
+/// DRAM-independent by construction, so the artifact *is* shared — that
+/// sharing is the memoization win, and it is safe precisely because the
+/// artifact key covers everything that shapes the stream.
+#[test]
+fn dram_preset_rekeys_baselines_but_shares_the_dram_independent_trace() {
+    let cfg = quick();
+    let w = workloads::web_search();
+    let fast = spec_with(|s| {
+        s.stacked = DramPreset::Stacked2x;
+        s.offchip = DramPreset::Ddr4_2400;
+    });
+
+    let baselines = BaselineStore::new(cfg);
+    let slow_b = baselines.get_for_system(&w, &SystemSpec::default(), 42);
+    let fast_b = baselines.get_for_system(&w, &fast, 42);
+    assert_eq!(
+        baselines.computed_runs(),
+        2,
+        "a DDR4/2x-stack baseline must not be reused for the Table III machine"
+    );
+    assert_ne!(slow_b.uipc, fast_b.uipc);
+
+    let mut cfg_fast = cfg;
+    cfg_fast.system = fast;
+    let traces = TraceStore::new();
+    let a = traces.get(&cfg.trace_plan(&w, 128 << 20).scaled_spec, 42, 1_000);
+    let b = traces.get(&cfg_fast.trace_plan(&w, 128 << 20).scaled_spec, 42, 1_000);
+    assert_eq!(traces.generated_traces(), 1, "trace is DRAM-independent");
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+// ------------------------------------------------------------ round trips
+
+#[test]
+fn scenario_serde_round_trips_identically() {
+    let scenarios = vec![
+        Scenario::default(),
+        Scenario::from_spec(spec_with(|s| {
+            s.cores = Some(32);
+            s.page_bytes = Some(1984);
+            s.ways = Some(8);
+            s.way_policy = Some(unison_repro::core::WayPolicy::ParallelFetch);
+            s.stacked = DramPreset::Stacked2x;
+            s.offchip = DramPreset::Ddr4_2400;
+            s.core = CoreParams {
+                ipc_base: 4.0,
+                overlap_cycles: 48,
+                stall_on_stores: true,
+            };
+        })),
+    ];
+    let json = serde_json::to_string_pretty(&scenarios).unwrap();
+    let back = scenarios_from_json(&json).unwrap();
+    assert_eq!(back, scenarios);
+    assert_eq!(
+        serde_json::to_string_pretty(&back).unwrap(),
+        json,
+        "JSON -> spec -> JSON must be the identity"
+    );
+}
+
+/// The checked-in example scenario files (which CI smoke-runs) must load
+/// and cover the axes the acceptance criteria name.
+#[test]
+fn example_scenario_files_load_and_cover_the_new_axes() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("scenarios");
+
+    let axes = std::fs::read_to_string(dir.join("axes.json")).expect("axes.json exists");
+    let scenarios = scenarios_from_json(&axes).expect("axes.json parses");
+    assert!(scenarios.len() >= 3);
+    assert!(
+        scenarios
+            .iter()
+            .any(|s| s.system.cores.is_some_and(|c| c != 16)),
+        "axes.json exercises a non-default core count"
+    );
+    assert!(
+        scenarios
+            .iter()
+            .any(|s| s.system.stacked != DramPreset::Stacked
+                || s.system.offchip != DramPreset::Ddr3_1600),
+        "axes.json exercises a non-default DRAM preset"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.system.way_policy.is_some()),
+        "axes.json exercises a non-default way policy"
+    );
+
+    let small = std::fs::read_to_string(dir.join("small-pod.json")).expect("small-pod.json exists");
+    let small = scenarios_from_json(&small).expect("small-pod.json parses");
+    assert_eq!(small.len(), 1);
+    assert_eq!(small[0].name, "small-pod");
+    assert_eq!(small[0].system.cores, Some(8));
+}
+
+// ------------------------------------------------------------- end to end
+
+/// A campaign over the example `axes.json` scenario axis runs end to end,
+/// keeps per-machine results distinct, and emits self-describing sinks.
+#[test]
+fn scenario_campaign_end_to_end_with_sinks() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("scenarios");
+    let scenarios =
+        scenarios_from_json(&std::fs::read_to_string(dir.join("axes.json")).unwrap()).unwrap();
+    let n = scenarios.len();
+
+    let mut cfg = quick();
+    cfg.accesses = 30_000;
+    cfg.scale = 256;
+    let grid = ScenarioGrid::new()
+        .designs([Design::Unison])
+        .workloads([workloads::web_search()])
+        .sizes([256 << 20])
+        .scenarios(scenarios);
+    let results = Campaign::new(cfg).threads(4).run_speedups(&grid);
+
+    assert_eq!(results.cells().len(), n);
+    // Every machine is distinct, so every baseline is distinct.
+    assert_eq!(results.baseline_runs, n);
+    // The quad-core scenario must differ from the default.
+    let default = results
+        .get_in_scenario("default", "Web Search", "Unison", 256 << 20, 42)
+        .expect("default cell");
+    let quad = results
+        .get_in_scenario("quad-core", "Web Search", "Unison", 256 << 20, 42)
+        .expect("quad-core cell");
+    assert_eq!(default.cores, 16);
+    assert_eq!(quad.cores, 4);
+    assert_ne!(default.run.elapsed_ps, quad.run.elapsed_ps);
+
+    // CSV: scenario columns present and populated per row.
+    let csv = sink::to_csv(&results);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    for col in [
+        "scenario",
+        "cores",
+        "page_bytes",
+        "ways",
+        "way_policy",
+        "stacked_dram",
+    ] {
+        assert!(header.contains(col), "CSV header missing {col}: {header}");
+    }
+    assert!(
+        csv.lines()
+            .skip(1)
+            .any(|l| l.contains("quad-core") && l.contains(",4,")),
+        "quad-core row carries its core count:\n{csv}"
+    );
+    assert!(
+        csv.lines()
+            .skip(1)
+            .any(|l| l.contains("wide-stack") && l.contains("stacked-2x")),
+        "wide-stack row names its DRAM preset:\n{csv}"
+    );
+
+    // JSON: the full system spec rides along with every cell.
+    let json = sink::to_json(&results);
+    assert!(json.contains("\"scenario\""));
+    assert!(json.contains("\"stacked\": \"stacked-2x\""));
+    assert!(json.contains("\"way_policy\": \"serial-tag-data\""));
+}
+
+/// Parallel and serial scenario campaigns agree byte for byte — the
+/// determinism guarantee extends to the new axis.
+#[test]
+fn scenario_campaigns_are_deterministic_across_thread_counts() {
+    let quad = Scenario::from_spec(spec_with(|s| s.cores = Some(4)));
+    let mut cfg = quick();
+    cfg.accesses = 30_000;
+    cfg.scale = 256;
+    let grid = ScenarioGrid::new()
+        .designs([Design::Unison, Design::Ideal])
+        .workloads([workloads::web_search()])
+        .sizes([128 << 20])
+        .scenarios([Scenario::default(), quad]);
+    let serial = Campaign::new(cfg).threads(1).run_speedups(&grid);
+    let parallel = Campaign::new(cfg).threads(4).run_speedups(&grid);
+    assert_eq!(
+        serde_json::to_string(&serial.cells).unwrap(),
+        serde_json::to_string(&parallel.cells).unwrap(),
+        "scenario campaigns must stay deterministic under parallelism"
+    );
+}

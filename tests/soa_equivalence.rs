@@ -25,7 +25,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use unison_repro::sim::{run_experiment, CoreParams, Design, RunResult, SimConfig};
+use unison_repro::sim::{run_experiment, Design, RunResult, SimConfig, SystemSpec};
 use unison_repro::trace::{workloads, WorkloadSpec};
 
 /// All designs the experiments compare (the ablation way-policies are
@@ -50,7 +50,7 @@ fn golden_cfg() -> SimConfig {
     SimConfig {
         accesses: 60_000,
         warmup_fraction: 0.5,
-        core: CoreParams::default(),
+        system: SystemSpec::default(),
         seed: 42,
         scale: 64,
     }

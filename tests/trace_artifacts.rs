@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use unison_repro::harness::{Campaign, ExperimentGrid, TracePolicy, TraceStore};
+use unison_repro::harness::{Campaign, ScenarioGrid, TracePolicy, TraceStore};
 use unison_repro::sim::{
     run_experiment, run_experiment_with_source, Design, SimConfig, TraceSource,
 };
@@ -123,7 +123,7 @@ fn memoized_campaign_equals_regenerating_campaign() {
     let mut cfg = SimConfig::quick_test();
     cfg.accesses = 30_000;
     cfg.scale = 256;
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Unison, Design::Alloy, Design::Ideal])
         .workloads([workloads::web_search(), workloads::tpch()])
         .sizes([128 << 20, 512 << 20]);
@@ -169,7 +169,7 @@ fn trace_store_speeds_up_multi_design_campaigns() {
 
     let mut cfg = SimConfig::quick_test();
     cfg.accesses = 400_000;
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Ideal, Design::NoCache])
         .workloads([workloads::data_analytics()])
         .sizes([
@@ -227,7 +227,7 @@ fn disk_cache_skips_generation_on_reuse() {
     let mut cfg = SimConfig::quick_test();
     cfg.accesses = 30_000;
     cfg.scale = 256;
-    let grid = ExperimentGrid::new()
+    let grid = ScenarioGrid::new()
         .designs([Design::Unison])
         .workloads([workloads::data_serving()])
         .sizes([128 << 20]);
