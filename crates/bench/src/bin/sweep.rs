@@ -23,13 +23,24 @@
 //!
 //! `--metric miss` switches the table to miss ratios and skips the
 //! baselines entirely. All shared bench flags (`--scale`, `--seed`,
-//! `--threads`, `--quick`, sinks) apply.
+//! `--threads`, `--quick`, `--journal`/`--resume`, sinks) apply.
+//!
+//! **Sharding.** `--shard I/N` (1-based) runs only the cells whose
+//! stable `CellKey` lands in shard `I` of a deterministic `N`-way
+//! partition and writes a shard-output file to `--json` (required).
+//! `--merge shard-*.json` re-lowers the same grid, verifies every shard
+//! file against the plan (fingerprint + complete, disjoint coverage),
+//! and renders the merged campaign exactly as an unsharded run would —
+//! bit-identically. `--list` prints every valid design, DRAM preset,
+//! way policy, and workload name in one place.
 
 use unison_bench::table::{pct, size_label, speedup};
 use unison_bench::{BenchOpts, Table};
 use unison_core::WayPolicy;
 use unison_dram::DramPreset;
-use unison_harness::ScenarioGrid;
+use unison_harness::{
+    merge_shards, CampaignResult, ScenarioGrid, ShardOutput, ShardSpec, TaskPlan,
+};
 use unison_sim::{scenarios_from_json, Design, Scenario, SystemSpec};
 use unison_trace::{workloads, WorkloadSpec};
 
@@ -41,6 +52,9 @@ struct SweepArgs {
     scenarios: Vec<Scenario>,
     dump_scenario: bool,
     metric: Metric,
+    shard: Option<ShardSpec>,
+    merge: Vec<String>,
+    list: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -56,8 +70,13 @@ fn fail(msg: &str) -> ! {
          [--seeds s1,s2,..] [--cores n1,n2,..] [--dram-preset p1,p2,..] \
          [--offchip-preset p1,p2,..] [--page-bytes b1,b2,..] [--ways w1,w2,..] \
          [--way-policy p1,p2,..] [--scenario FILE.json] [--dump-scenario] \
-         [--metric speedup|miss] [shared bench flags]"
+         [--metric speedup|miss] [--shard I/N] [--merge FILE..] [--list] \
+         [shared bench flags]"
     );
+    eprintln!("  --shard I/N   run only shard I (1-based) of a deterministic N-way cell");
+    eprintln!("                partition; writes a shard-output file to --json (required)");
+    eprintln!("  --merge F..   verify + merge shard-output files from the same grid flags");
+    eprintln!("  --list        print every valid design, preset, policy, and workload");
     eprintln!("  designs:      {}", Design::VALID_NAMES);
     eprintln!("  dram presets: {}", DramPreset::valid_names());
     eprintln!("  way policies: {}", WayPolicy::valid_names());
@@ -176,10 +195,13 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
         scenarios: Vec::new(),
         dump_scenario: false,
         metric: Metric::Speedup,
+        shard: None,
+        merge: Vec::new(),
+        list: false,
     };
     let mut axes = AxisFlags::default();
     let mut scenario_files: Vec<String> = Vec::new();
-    let mut it = extra.into_iter();
+    let mut it = extra.into_iter().peekable();
     while let Some(flag) = it.next() {
         let mut grab = || {
             it.next()
@@ -235,6 +257,22 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
             }
             "--scenario" => scenario_files.push(grab()),
             "--dump-scenario" => args.dump_scenario = true,
+            "--shard" => {
+                args.shard = Some(ShardSpec::parse(&grab()).unwrap_or_else(|e| fail(&e)));
+            }
+            "--merge" => {
+                // Greedy: `--merge shard-*.json` shell-expands to many
+                // paths; consume values until the next flag.
+                let first = grab();
+                if first.starts_with("--") {
+                    fail("--merge needs at least one shard-output file");
+                }
+                args.merge.push(first);
+                while it.peek().is_some_and(|a| !a.starts_with("--")) {
+                    args.merge.push(it.next().expect("peeked"));
+                }
+            }
+            "--list" => args.list = true,
             "--metric" => {
                 args.metric = match grab().as_str() {
                     "speedup" => Metric::Speedup,
@@ -267,12 +305,108 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
     if args.designs.is_empty() || args.workloads.is_empty() || args.sizes.is_empty() {
         fail("designs, workloads, and sizes must all be non-empty");
     }
+    if args.shard.is_some() && !args.merge.is_empty() {
+        fail("--shard and --merge are mutually exclusive");
+    }
     args
+}
+
+/// Prints every valid spelling the grid flags accept, in one place.
+fn print_lists() {
+    println!("valid sweep axis values");
+    println!();
+    println!("designs (--designs):");
+    println!("  {}", Design::VALID_NAMES);
+    println!("dram presets (--dram-preset / --offchip-preset):");
+    println!("  {}", DramPreset::valid_names());
+    println!("way policies (--way-policy):");
+    println!("  {}", WayPolicy::valid_names());
+    println!("workloads (--workloads):");
+    for w in workloads::all() {
+        println!(
+            "  {:<16} ({} cores, {} MB footprint)",
+            w.name,
+            w.cores,
+            w.mem_footprint_bytes >> 20
+        );
+    }
+    println!("sizes (--sizes): K/M/G suffixed (512M, 1G) or raw bytes with B");
+    println!("shards (--shard): I/N with 1-based I (1/2 and 2/2 halve a campaign)");
+}
+
+/// Runs one shard of the partition and writes the shard-output file.
+fn run_shard(opts: &BenchOpts, sweep: &SweepArgs, grid: &ScenarioGrid, shard: ShardSpec) {
+    let Some(json) = &opts.json else {
+        fail("--shard needs --json PATH (the shard-output file --merge will read)");
+    };
+    if opts.csv.is_some() {
+        fail("--csv is unavailable with --shard (partial grid); render it from --merge");
+    }
+    let campaign = opts.campaign();
+    let out = match sweep.metric {
+        Metric::Speedup => campaign.run_shard_speedups(grid, shard),
+        Metric::Miss => campaign.run_shard(grid, shard),
+    };
+    let executed = out.cells.len() - out.resumed_cells;
+    println!(
+        "shard {}: {} of {} cells ({} executed, {} restored from journal); \
+         plan fingerprint {}",
+        shard.display(),
+        out.cells.len(),
+        out.total_cells,
+        executed,
+        out.resumed_cells,
+        out.fingerprint,
+    );
+    let text = serde_json::to_string_pretty(&out).expect("shard output serializes");
+    std::fs::write(json, text)
+        .unwrap_or_else(|e| fail(&format!("writing {}: {e}", json.display())));
+    println!("(wrote {})", json.display());
+}
+
+/// Reads shard-output files, verifies each against the plan this
+/// process's own grid flags lower to, and reassembles the full result.
+fn merge_outputs(opts: &BenchOpts, sweep: &SweepArgs, grid: &ScenarioGrid) -> CampaignResult {
+    let plan = TaskPlan::lower(&opts.cfg, grid, sweep.metric == Metric::Speedup);
+    let mut outputs = Vec::new();
+    for file in &sweep.merge {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("cannot read shard output {file}: {e}")));
+        let out: ShardOutput = serde_json::from_str(&text)
+            .unwrap_or_else(|e| fail(&format!("{file}: not a shard output ({e})")));
+        if out.fingerprint != plan.fingerprint() {
+            fail(&format!(
+                "{file}: shard fingerprint {} does not match this invocation's plan {} — \
+                 --merge must be given the same grid and config flags the shards ran with",
+                out.fingerprint,
+                plan.fingerprint()
+            ));
+        }
+        for cell in &out.cells {
+            let expect = plan.cells.get(cell.index).unwrap_or_else(|| {
+                fail(&format!("{file}: cell index {} out of range", cell.index))
+            });
+            if expect.key.hex() != cell.key {
+                fail(&format!(
+                    "{file}: cell {} has key {} but the plan expects {}",
+                    cell.index,
+                    cell.key,
+                    expect.key.hex()
+                ));
+            }
+        }
+        outputs.push(out);
+    }
+    merge_shards(outputs).unwrap_or_else(|e| fail(&e))
 }
 
 fn main() {
     let (opts, extra) = BenchOpts::parse_known(std::env::args().skip(1));
     let sweep = parse_sweep_args(extra);
+    if sweep.list {
+        print_lists();
+        return;
+    }
 
     // The effective scenario axis (what an empty axis means), for the
     // dump and the result tables.
@@ -289,7 +423,27 @@ fn main() {
         return;
     }
 
-    opts.print_header("Sweep: user-specified experiment grid");
+    let mut grid = ScenarioGrid::new()
+        .designs(sweep.designs.clone())
+        .workloads(sweep.workloads.clone())
+        .sizes(sweep.sizes.clone());
+    if !sweep.scenarios.is_empty() {
+        grid = grid.scenarios(sweep.scenarios.clone());
+    }
+    if !sweep.seeds.is_empty() {
+        grid = grid.seeds(sweep.seeds.clone());
+    }
+
+    if let Some(shard) = sweep.shard {
+        run_shard(&opts, &sweep, &grid, shard);
+        return;
+    }
+
+    opts.print_header(if sweep.merge.is_empty() {
+        "Sweep: user-specified experiment grid"
+    } else {
+        "Sweep: merged shard outputs"
+    });
     if scenarios.len() > 1 || scenarios[0] != Scenario::default() {
         println!(
             "scenarios: {}",
@@ -302,20 +456,14 @@ fn main() {
         println!();
     }
 
-    let mut grid = ScenarioGrid::new()
-        .designs(sweep.designs.clone())
-        .workloads(sweep.workloads.clone())
-        .sizes(sweep.sizes.clone());
-    if !sweep.scenarios.is_empty() {
-        grid = grid.scenarios(sweep.scenarios.clone());
-    }
-    if !sweep.seeds.is_empty() {
-        grid = grid.seeds(sweep.seeds.clone());
-    }
-    let campaign = opts.campaign();
-    let results = match sweep.metric {
-        Metric::Speedup => campaign.run_speedups(&grid),
-        Metric::Miss => campaign.run(&grid),
+    let results = if sweep.merge.is_empty() {
+        let campaign = opts.campaign();
+        match sweep.metric {
+            Metric::Speedup => campaign.run_speedups(&grid),
+            Metric::Miss => campaign.run(&grid),
+        }
+    } else {
+        merge_outputs(&opts, &sweep, &grid)
     };
 
     let size_labels: Vec<String> = sweep.sizes.iter().map(|&s| size_label(s)).collect();
@@ -391,8 +539,13 @@ fn main() {
         }
     }
 
+    let restored = if results.resumed_cells > 0 {
+        format!(" ({} restored from journal)", results.resumed_cells)
+    } else {
+        String::new()
+    };
     println!(
-        "{} cells on {} thread(s); baselines: {} simulated, {} memo hits",
+        "{} cells on {} thread(s){restored}; baselines: {} simulated, {} memo hits",
         results.cells().len(),
         opts.threads,
         results.baseline_runs,

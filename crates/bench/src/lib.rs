@@ -14,12 +14,18 @@
 //!   `1` reproduces the historical serial behaviour);
 //! * `--json PATH` — also dump machine-readable results;
 //! * `--csv PATH` — also dump the campaign's flat per-cell CSV;
+//! * `--journal PATH` — checkpoint completed cells to an append-only
+//!   JSONL file; `--resume` restores them instead of re-simulating
+//!   (bit-identical to an uninterrupted run). Applies to grid campaigns;
+//!   the two `Campaign::map`-based ablations (`ablation_waypred`,
+//!   `ablation_always_hit`) run custom cells and do not checkpoint;
 //! * `--quick` — tiny sizes for smoke runs (used by `cargo bench`).
 //!
 //! Binaries: `table2`, `table4`, `table5`, `fig5`, `fig6`, `fig7`,
 //! `fig8`, `energy`, `ablation_waypred`, `ablation_always_hit`,
 //! `ablation_pagesize`, and `sweep` (run an arbitrary user-specified
-//! grid in one command).
+//! grid in one command; `--shard I/N` / `--merge` split one campaign
+//! across processes, `--list` prints every valid axis spelling).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

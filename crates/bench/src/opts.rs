@@ -29,6 +29,13 @@ pub struct BenchOpts {
     /// Disables trace-artifact sharing entirely (`--no-trace-cache`):
     /// every cell regenerates its stream, the pre-artifact behaviour.
     pub no_trace_cache: bool,
+    /// Checkpoint-journal path (`--journal`): completed cells append to
+    /// this JSONL file as they finish. Grid campaigns only —
+    /// [`Campaign::map`]-based custom cells do not checkpoint.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal (`--resume`): cells already recorded
+    /// there are restored instead of re-simulated.
+    pub resume: bool,
 }
 
 impl Default for BenchOpts {
@@ -41,6 +48,8 @@ impl Default for BenchOpts {
             quick: false,
             trace_cache: None,
             no_trace_cache: false,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -125,6 +134,8 @@ impl BenchOpts {
                     opts.trace_cache = Some(PathBuf::from(grab("--trace-cache")));
                 }
                 "--no-trace-cache" => opts.no_trace_cache = true,
+                "--journal" => opts.journal = Some(PathBuf::from(grab("--journal"))),
+                "--resume" => opts.resume = true,
                 "--quick" => {} // already applied before the loop
                 "--help" | "-h" => usage(""),
                 other => leftover.push(other.to_string()),
@@ -138,6 +149,9 @@ impl BenchOpts {
         }
         if opts.threads == 0 {
             usage("--threads must be positive");
+        }
+        if opts.resume && opts.journal.is_none() {
+            usage("--resume needs --journal PATH (the file to restore from)");
         }
         (opts, leftover)
     }
@@ -158,10 +172,14 @@ impl BenchOpts {
     /// `SimConfig`, the requested pool width, and progress streaming (off
     /// in `--quick` smoke runs to keep bench output clean).
     pub fn campaign(&self) -> Campaign {
-        Campaign::new(self.cfg)
+        let mut c = Campaign::new(self.cfg)
             .threads(self.threads)
             .progress(!self.quick)
-            .traces(self.trace_policy())
+            .traces(self.trace_policy());
+        if let Some(path) = &self.journal {
+            c = c.journal(path.clone()).resume(self.resume);
+        }
+        c
     }
 
     /// Prints the standard experiment header (the configured system —
@@ -214,12 +232,14 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale N] [--accesses N] [--seed N] [--threads N] [--json PATH] [--csv PATH] \
-         [--trace-cache DIR] [--no-trace-cache] [--quick]"
+         [--trace-cache DIR] [--no-trace-cache] [--journal PATH] [--resume] [--quick]"
     );
     eprintln!(
         "  --trace-cache DIR   persist frozen trace artifacts in DIR (default: $UNISON_TRACE_CACHE)"
     );
     eprintln!("  --no-trace-cache    regenerate traces per cell (no artifact sharing)");
+    eprintln!("  --journal PATH      checkpoint completed cells to PATH (JSONL, append-only)");
+    eprintln!("  --resume            restore completed cells from --journal instead of re-running");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -323,6 +343,22 @@ mod tests {
             None,
         );
         assert_eq!(o.trace_policy(), TracePolicy::Generate);
+    }
+
+    #[test]
+    fn journal_and_resume_flags() {
+        let o = BenchOpts::parse(
+            ["--journal", "/tmp/c.jsonl", "--resume"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            o.journal.as_deref(),
+            Some(std::path::Path::new("/tmp/c.jsonl"))
+        );
+        assert!(o.resume);
+        let o = BenchOpts::parse(["--journal", "/tmp/c.jsonl"].iter().map(|s| s.to_string()));
+        assert!(!o.resume, "--journal alone starts a fresh journal");
     }
 
     #[test]

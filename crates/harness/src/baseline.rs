@@ -21,6 +21,29 @@ use crate::trace_store::TraceStore;
 /// Memo key: (serialized workload spec, serialized system spec, seed).
 type BaselineKey = (String, String, u64);
 
+/// The store's memo key for `(spec, system, seed)` — also how the task
+/// planner dedupes baseline tasks, so "one baseline task per key" in the
+/// plan is exactly "one simulation per key" in the store.
+///
+/// Keyed on the *full* spec encodings, not display names: two specs
+/// sharing a name but differing in parameters (e.g. a workload and its
+/// `scaled()` variant, or two scenarios differing only in core count or
+/// DRAM preset) must not share a baseline. The core-count override is
+/// normalized into the workload half of the key (the same way
+/// trace-artifact keys see it), so `cores: Some(16)` and `cores: None` —
+/// the identical machine for a 16-core workload — share one baseline
+/// instead of simulating it twice.
+pub(crate) fn baseline_key(spec: &WorkloadSpec, system: &SystemSpec, seed: u64) -> BaselineKey {
+    let wkey =
+        serde_json::to_string(&system.effective_workload(spec)).expect("workload spec serializes");
+    let skey = {
+        let mut sans_cores = *system;
+        sans_cores.cores = None;
+        serde_json::to_string(&sans_cores).expect("system spec serializes")
+    };
+    (wkey, skey, seed)
+}
+
 /// Exactly-once cache of NoCache baseline runs keyed by the **full
 /// serialized workload spec**, the **full serialized system spec**, and
 /// the seed — two requests that share display names but differ in any
@@ -68,25 +91,10 @@ impl BaselineStore {
     /// Concurrent first requests block on the in-flight simulation
     /// (`OnceLock` semantics) — the simulation still runs exactly once.
     pub fn get_for_system(&self, spec: &WorkloadSpec, system: &SystemSpec, seed: u64) -> RunResult {
-        // Key on the *full* spec encodings, not display names: two specs
-        // sharing a name but differing in parameters (e.g. a workload and
-        // its `scaled()` variant, or two scenarios differing only in core
-        // count or DRAM preset) must not share a baseline. The core-count
-        // override is normalized into the workload half of the key (the
-        // same way trace-artifact keys see it), so `cores: Some(16)` and
-        // `cores: None` — the identical machine for a 16-core workload —
-        // share one baseline instead of simulating it twice.
-        let wkey = serde_json::to_string(&system.effective_workload(spec))
-            .expect("workload spec serializes");
-        let skey = {
-            let mut sans_cores = *system;
-            sans_cores.cores = None;
-            serde_json::to_string(&sans_cores).expect("system spec serializes")
-        };
         let cell = {
             let mut map = self.cells.lock().expect("baseline map poisoned");
             Arc::clone(
-                map.entry((wkey, skey, seed))
+                map.entry(baseline_key(spec, system, seed))
                     .or_insert_with(|| Arc::new(OnceLock::new())),
             )
         };

@@ -1,27 +1,42 @@
-//! Campaign execution: grid → worker pool → typed results.
+//! Campaign execution: grid → task plan → executor → typed results.
+//!
+//! The campaign no longer owns a monolithic run loop: it lowers the grid
+//! through [`TaskPlan::lower`] and hands the plan to an
+//! [`Executor`](crate::Executor) — in-process for `run`/`run_speedups`,
+//! [`ShardedExecutor`] for `run_shard*` — wiring in the memoized
+//! baseline/trace stores and, when configured, the checkpoint
+//! [`Journal`].
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use unison_sim::{
     run_experiment_with_source, run_speedup_with_baseline_source, Design, RunResult, SimConfig,
     SystemSpec, TraceSource,
 };
-use unison_trace::WorkloadSpec;
 
 use crate::baseline::BaselineStore;
 use crate::grid::{Cell, ScenarioGrid};
+use crate::journal::{IndexedCell, Journal, ShardOutput};
 use crate::pool::{self, parallel_map};
+use crate::scheduler::{
+    BaselineTask, ExecHooks, Executor, InProcessExecutor, ShardSpec, ShardedExecutor, TaskPlan,
+    TracePrefillTask,
+};
 use crate::stats::geomean;
 use crate::trace_store::TraceStore;
 
 /// One executed cell: the simulation outcome plus the scenario and seed
 /// it ran under and (for speedup campaigns) its speedup over the memoized
 /// NoCache baseline.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Serialization round-trips losslessly (pinned by the scheduler tests):
+/// a `CellResult` written to a shard file or checkpoint journal and read
+/// back re-serializes to identical bytes, which is what makes
+/// shard-merge and resume bit-identical to a single uninterrupted run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellResult {
     /// Scenario display name.
     pub scenario: String,
@@ -73,6 +88,9 @@ pub struct CampaignResult {
     pub trace_memo_hits: usize,
     /// Trace requests served from the on-disk artifact cache.
     pub trace_disk_hits: usize,
+    /// Cells restored from a `--resume` checkpoint journal instead of
+    /// re-simulated (0 for campaigns without a journal).
+    pub resumed_cells: usize,
 }
 
 impl CampaignResult {
@@ -179,14 +197,18 @@ pub enum TracePolicy {
     Disk(PathBuf),
 }
 
-/// Executes [`ScenarioGrid`]s on a worker pool under one [`SimConfig`]
-/// (whose system spec each cell's scenario overrides).
+/// Executes [`ScenarioGrid`]s under one [`SimConfig`] (whose system spec
+/// each cell's scenario overrides): lowers the grid to a [`TaskPlan`]
+/// and runs it through an [`Executor`] on the worker pool, optionally
+/// checkpointing completions to a [`Journal`] and resuming from one.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     cfg: SimConfig,
     threads: usize,
     progress: bool,
     traces: TracePolicy,
+    journal: Option<PathBuf>,
+    resume: bool,
 }
 
 impl Campaign {
@@ -198,6 +220,8 @@ impl Campaign {
             threads: pool::default_threads(),
             progress: false,
             traces: TracePolicy::default(),
+            journal: None,
+            resume: false,
         }
     }
 
@@ -222,6 +246,24 @@ impl Campaign {
         self
     }
 
+    /// Checkpoints completed cells to an append-only JSONL journal at
+    /// `path`. Without [`Self::resume`], the file is truncated and
+    /// started fresh; with it, previously completed cells are restored
+    /// and skipped.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resumes from the configured [`Self::journal`] (no-op without
+    /// one): completed cells recorded there are restored instead of
+    /// re-simulated, after verifying the journal belongs to this exact
+    /// plan. A missing journal file simply starts fresh.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
     /// The simulation configuration cells run under.
     pub fn cfg(&self) -> &SimConfig {
         &self.cfg
@@ -240,6 +282,23 @@ impl Campaign {
         self.execute(grid, true)
     }
 
+    /// Runs one deterministic shard of `grid` (no baselines); see
+    /// [`Self::run_shard_speedups`].
+    pub fn run_shard(&self, grid: &ScenarioGrid, shard: ShardSpec) -> ShardOutput {
+        self.run_plan(grid, false, &ShardedExecutor::new(shard))
+    }
+
+    /// Runs one deterministic shard of `grid` with speedups: only the
+    /// cells whose [`CellKey`](crate::CellKey) lands in `shard` under
+    /// the N-way partition execute (with exactly the baselines and trace
+    /// freezes they need). The returned [`ShardOutput`] serializes to
+    /// JSON; [`merge_shards`](crate::merge_shards) combines a complete
+    /// set of them into a [`CampaignResult`] bit-identical to
+    /// [`Self::run_speedups`] on one machine.
+    pub fn run_shard_speedups(&self, grid: &ScenarioGrid, shard: ShardSpec) -> ShardOutput {
+        self.run_plan(grid, true, &ShardedExecutor::new(shard))
+    }
+
     /// Builds the shared trace store for this campaign's policy.
     fn trace_store(&self) -> Option<Arc<TraceStore>> {
         match &self.traces {
@@ -247,50 +306,6 @@ impl Campaign {
             TracePolicy::Memoize => Some(Arc::new(TraceStore::new())),
             TracePolicy::Disk(dir) => Some(Arc::new(TraceStore::new().with_dir(dir))),
         }
-    }
-
-    /// Freezes every `(workload, seed)` artifact the grid will replay, in
-    /// parallel, each at the **maximum** length any of its cells (and the
-    /// baseline, when speedups run) requires — so the per-key grow-on-
-    /// demand path never regenerates mid-campaign.
-    fn prefill_traces(&self, traces: &TraceStore, cells: &[Cell], with_baselines: bool) {
-        let mut plans: HashMap<(String, u64), (WorkloadSpec, u64)> = HashMap::new();
-        for cell in cells {
-            // The scenario's system spec feeds the plan, so its core
-            // count lands in the scaled spec — the artifact key. Cells of
-            // scenarios that share an effective workload share a freeze.
-            let mut cfg = self.cfg;
-            cfg.system = cell.scenario.system;
-            let plan = cfg.trace_plan(&cell.workload, cell.cache_bytes);
-            let needed = if with_baselines {
-                // The baseline runs at cache size 0; its trace is never
-                // longer than a design cell's, but take the max anyway
-                // rather than encode that reasoning here.
-                plan.frozen_len
-                    .max(cfg.trace_plan(&cell.workload, 0).frozen_len)
-            } else {
-                plan.frozen_len
-            };
-            let json = serde_json::to_string(&plan.scaled_spec).expect("workload spec serializes");
-            let entry = plans
-                .entry((json, cell.seed))
-                .or_insert_with(|| (plan.scaled_spec.clone(), 0));
-            entry.1 = entry.1.max(needed);
-        }
-        let work: Vec<(WorkloadSpec, u64, u64)> = plans
-            .into_iter()
-            .map(|((_, seed), (spec, len))| (spec, seed, len))
-            .collect();
-        if self.progress {
-            eprintln!(
-                "[harness] freezing {} trace artifact(s) on {} thread(s)",
-                work.len(),
-                self.threads
-            );
-        }
-        parallel_map(&work, self.threads, |(spec, seed, len)| {
-            traces.get(spec, *seed, *len);
-        });
     }
 
     /// Generic order-preserving parallel map on this campaign's pool —
@@ -307,10 +322,90 @@ impl Campaign {
     }
 
     fn execute(&self, grid: &ScenarioGrid, speedups: bool) -> CampaignResult {
-        let cells = grid.cells(self.cfg.seed);
+        self.run_plan(grid, speedups, &InProcessExecutor)
+            .into_campaign_result()
+            .expect("the in-process executor covers every planned cell")
+    }
+
+    /// Opens (or resumes) the configured journal for `plan`, returning
+    /// the journal handle and the completed cells it already records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the journal cannot be created, or when resuming a
+    /// journal that belongs to a different campaign — silently mixing
+    /// results from two plans must never happen.
+    fn open_journal(&self, plan: &TaskPlan) -> (Option<Journal>, Vec<IndexedCell>) {
+        match &self.journal {
+            None => (None, Vec::new()),
+            Some(path) if self.resume => match Journal::resume(path, plan) {
+                Ok((j, entries)) => (Some(j), entries),
+                Err(e) => panic!("cannot resume campaign: {e}"),
+            },
+            Some(path) => match Journal::create(path, plan) {
+                Ok(j) => (Some(j), Vec::new()),
+                Err(e) => panic!("cannot create campaign journal at {}: {e}", path.display()),
+            },
+        }
+    }
+
+    /// Lowers `grid` to a [`TaskPlan`] and runs it through `executor`:
+    /// the generic entry point behind [`Self::run`],
+    /// [`Self::run_speedups`], and [`Self::run_shard_speedups`], public
+    /// for custom executors. Only the executor's assigned cells run
+    /// (minus any restored from a resume journal), with exactly the
+    /// trace freezes and baselines those cells depend on — and they
+    /// simulate bit-identically to the same cells inside a full
+    /// single-process run.
+    pub fn run_plan(
+        &self,
+        grid: &ScenarioGrid,
+        speedups: bool,
+        executor: &dyn Executor,
+    ) -> ShardOutput {
+        let plan = TaskPlan::lower(&self.cfg, grid, speedups);
+        let assigned = executor.assigned(&plan);
+        let assigned_set: HashSet<usize> = assigned.iter().copied().collect();
+
+        let (journal, mut restored) = self.open_journal(&plan);
+        restored.retain(|e| assigned_set.contains(&e.index));
+        restored.sort_by_key(|e| e.index);
+        if self.progress && !restored.is_empty() {
+            eprintln!(
+                "[harness] restored {} completed cell(s) from journal {}",
+                restored.len(),
+                journal
+                    .as_ref()
+                    .map(|j| j.path().display().to_string())
+                    .unwrap_or_default()
+            );
+        }
+        let skip: HashSet<usize> = restored.iter().map(|e| e.index).collect();
+        let to_run: Vec<usize> = assigned
+            .iter()
+            .copied()
+            .filter(|i| !skip.contains(i))
+            .collect();
+
+        // Dependency stages: freeze exactly the trace artifacts and
+        // simulate exactly the baselines the cells about to run need.
         let traces = self.trace_store();
         if let Some(traces) = &traces {
-            self.prefill_traces(traces, &cells, speedups);
+            let mut needed: Vec<usize> = to_run.iter().map(|&i| plan.cells[i].prefill).collect();
+            needed.sort_unstable();
+            needed.dedup();
+            let tasks: Vec<TracePrefillTask> = needed
+                .into_iter()
+                .map(|i| plan.prefills[i].clone())
+                .collect();
+            if self.progress && !tasks.is_empty() {
+                eprintln!(
+                    "[harness] freezing {} trace artifact(s) on {} thread(s)",
+                    tasks.len(),
+                    self.threads
+                );
+            }
+            traces.prefill(&tasks, self.threads);
         }
         let store = speedups.then(|| {
             let mut store = BaselineStore::new(self.cfg);
@@ -320,43 +415,77 @@ impl Campaign {
             store
         });
         if let Some(store) = &store {
-            let keys = grid.baseline_keys(self.cfg.seed);
-            if self.progress {
+            let mut needed: Vec<usize> = to_run
+                .iter()
+                .filter_map(|&i| plan.cells[i].baseline)
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            let tasks: Vec<&BaselineTask> = needed.iter().map(|&i| &plan.baselines[i]).collect();
+            if self.progress && !tasks.is_empty() {
                 eprintln!(
                     "[harness] prefilling {} baseline(s) on {} thread(s)",
-                    keys.len(),
+                    tasks.len(),
                     self.threads
                 );
             }
-            parallel_map(&keys, self.threads, |(spec, system, seed)| {
-                store.get_for_system(spec, system, *seed);
-            });
+            pool::parallel_map_observed(
+                &tasks,
+                self.threads,
+                |t| {
+                    store.get_for_system(&t.workload, &t.system, t.seed);
+                },
+                &|t| format!("NoCache baseline for {} (seed {})", t.workload.name, t.seed),
+                &mut |_, ()| {},
+            );
         }
 
-        let total = cells.len();
-        let done = AtomicUsize::new(0);
-        let results = parallel_map(&cells, self.threads, |cell| {
-            let r = self.run_cell(cell, store.as_ref(), traces.as_deref());
-            if self.progress {
-                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[harness {k}/{total}] {} @ {}MB on {} [{}] (seed {}) done",
-                    cell.design.name(),
-                    cell.cache_bytes >> 20,
-                    cell.workload.name,
-                    cell.scenario.name,
-                    cell.seed
-                );
-            }
-            r
-        });
-        CampaignResult {
-            cells: results,
+        let total = to_run.len();
+        let mut done = 0usize;
+        let executed = executor.execute(
+            &plan,
+            ExecHooks {
+                threads: self.threads,
+                skip: &skip,
+                run: &|pc| self.run_cell(&pc.cell, store.as_ref(), traces.as_deref()),
+                observe: &mut |pc, r| {
+                    if let Some(j) = &journal {
+                        j.append(&IndexedCell {
+                            index: pc.index,
+                            key: pc.key.hex(),
+                            result: r.clone(),
+                        });
+                    }
+                    if self.progress {
+                        done += 1;
+                        eprintln!("[harness {done}/{total}] {} done", pc.cell.describe());
+                    }
+                },
+            },
+        );
+
+        let resumed_cells = restored.len();
+        let mut cells = restored;
+        cells.extend(executed.into_iter().map(|(i, r)| IndexedCell {
+            index: i,
+            key: plan.cells[i].key.hex(),
+            result: r,
+        }));
+        cells.sort_by_key(|e| e.index);
+        let (shard_index, shard_count) = executor.shard();
+        ShardOutput {
+            fingerprint: plan.fingerprint().to_string(),
+            total_cells: plan.len(),
+            shard_index,
+            shard_count,
+            speedups,
+            cells,
             baseline_runs: store.as_ref().map_or(0, BaselineStore::computed_runs),
             baseline_hits: store.as_ref().map_or(0, BaselineStore::cache_hits),
             trace_generated: traces.as_ref().map_or(0, |t| t.generated_traces()),
             trace_memo_hits: traces.as_ref().map_or(0, |t| t.memo_hits()),
             trace_disk_hits: traces.as_ref().map_or(0, |t| t.disk_hits()),
+            resumed_cells,
         }
     }
 

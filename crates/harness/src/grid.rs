@@ -20,6 +20,22 @@ pub struct Cell {
     pub seed: u64,
 }
 
+impl Cell {
+    /// One-line identity — design @ size on workload [scenario] (seed) —
+    /// shared by progress lines, worker-panic labels, and journal
+    /// diagnostics so a cell is named the same way everywhere.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} @ {}MB on {} [{}] (seed {})",
+            self.design.name(),
+            self.cache_bytes >> 20,
+            self.workload.name,
+            self.scenario.name,
+            self.seed
+        )
+    }
+}
+
 /// The declarative cross product
 /// `designs × scenarios × sizes × workloads × seeds`, with optional
 /// per-workload size overrides (the paper sweeps CloudSuite at

@@ -29,6 +29,16 @@
 //!   [`Campaign::traces`]`(`[`TracePolicy::Generate`]`)`.
 //! * [`CampaignResult`] — typed result set with lookup helpers,
 //!   [`stats::geomean`] reductions, and JSON/CSV sinks ([`sink`]).
+//! * [`TaskPlan`] / [`Executor`] ([`scheduler`]) — the grid lowers to an
+//!   explicit task plan (trace prefills → baselines → cells, each cell
+//!   keyed by a stable [`CellKey`]); executors run it in-process or as a
+//!   deterministic `--shard I/N` partition ([`ShardedExecutor`]), and
+//!   [`merge_shards`] reassembles a complete set of [`ShardOutput`]s
+//!   bit-identically to the single-process run.
+//! * [`Journal`] ([`journal`]) — append-only JSONL checkpoint of
+//!   completed cells; `Campaign::journal(path).resume(true)` restores
+//!   the completed prefix after an interruption and runs only the rest,
+//!   bit-identical to an uninterrupted campaign.
 //!
 //! # Example
 //!
@@ -54,7 +64,9 @@
 mod baseline;
 mod campaign;
 mod grid;
+pub mod journal;
 pub mod pool;
+pub mod scheduler;
 pub mod sink;
 pub mod stats;
 mod trace_store;
@@ -62,4 +74,9 @@ mod trace_store;
 pub use baseline::BaselineStore;
 pub use campaign::{Campaign, CampaignResult, CellResult, TracePolicy};
 pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
+pub use journal::{merge_shards, IndexedCell, Journal, ShardOutput};
+pub use scheduler::{
+    CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell, ShardSpec, ShardedExecutor,
+    TaskPlan,
+};
 pub use trace_store::TraceStore;

@@ -5,8 +5,15 @@
 //! grid) and send `(index, result)` pairs back; the caller reassembles
 //! results **in input order**, so output is independent of scheduling and
 //! a 1-thread pool is byte-identical to an N-thread pool.
+//!
+//! Worker panics are caught and re-raised on the calling thread with the
+//! failing item's identity (via the caller's label closure), so a
+//! campaign crash names the cell that died instead of dying later on an
+//! opaque "pool did not complete" assertion. Remaining workers stop
+//! claiming new items once a panic is observed.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// The default pool width: one worker per available hardware thread.
@@ -20,8 +27,44 @@ pub fn default_threads() -> usize {
 /// the results in input order.
 ///
 /// `threads <= 1` runs inline on the caller's thread with no pool at all
-/// (the historical serial behaviour). Panics in `f` propagate.
+/// (the historical serial behaviour).
+///
+/// # Panics
+///
+/// A panic in `f` is re-raised on the calling thread, labeled with the
+/// failing item's index. Use [`parallel_map_observed`] to label items
+/// with domain identity instead.
 pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    parallel_map_observed(items, threads, f, &|_| String::new(), &mut |_, _| {})
+}
+
+/// [`parallel_map`] plus diagnosability and completion hooks:
+///
+/// * `label` names an item for panic messages (called only when that
+///   item's `f` panicked — e.g. the cell's workload/scenario/design/size
+///   identity);
+/// * `observe(index, &result)` runs on the **calling** thread as each
+///   result arrives, in completion (not input) order — the hook for
+///   checkpoint-journal appends and progress lines. It is not called for
+///   items whose `f` panicked.
+///
+/// # Panics
+///
+/// A panic in `f` stops workers from claiming further items and is then
+/// re-raised on the calling thread as
+/// `"worker panicked running <label>: <payload>"`.
+pub fn parallel_map_observed<I, T, F>(
+    items: &[I],
+    threads: usize,
+    f: F,
+    label: &(dyn Fn(&I) -> String + Sync),
+    observe: &mut dyn FnMut(usize, &T),
+) -> Vec<T>
 where
     I: Sync,
     T: Send,
@@ -29,40 +72,101 @@ where
 {
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(v) => {
+                    observe(i, &v);
+                    out.push(v);
+                }
+                Err(payload) => relabel_panic(i, &label(item), payload),
+            }
+        }
+        return out;
     }
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // The first worker panic observed, by input index (ties broken by
+    // arrival; the index makes the error deterministic enough to act on).
+    let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
 
     std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+        let (tx, rx) = mpsc::channel::<(usize, Outcome<T>)>();
         let next_ref = &next;
+        let abort_ref = &abort;
         let f_ref = &f;
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || loop {
+                if abort_ref.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let out = f_ref(&items[i]);
+                let out = catch_unwind(AssertUnwindSafe(|| f_ref(&items[i])));
+                if out.is_err() {
+                    abort_ref.store(true, Ordering::Relaxed);
+                }
                 if tx.send((i, out)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (i, v) in rx {
-            slots[i] = Some(v);
+        for (i, outcome) in rx {
+            match outcome {
+                // Completions are observed even after a panic was
+                // recorded: cells that were in flight when a sibling
+                // died still finished, and dropping them would lose
+                // checkpoint-journal entries exactly when the journal
+                // matters most.
+                Ok(v) => {
+                    observe(i, &v);
+                    slots[i] = Some(v);
+                }
+                Err(payload) => {
+                    if panicked.is_none() {
+                        panicked = Some((i, payload));
+                    }
+                }
+            }
         }
     });
 
+    if let Some((i, payload)) = panicked {
+        relabel_panic(i, &label(&items[i]), payload);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("worker pool completed every item"))
         .collect()
+}
+
+/// Re-raises a caught worker panic on the calling thread, prefixed with
+/// the failing item's identity.
+fn relabel_panic(index: usize, label: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let what = if label.is_empty() {
+        format!("item {index}")
+    } else {
+        format!("{label} (item {index})")
+    };
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        // Opaque payload: keep the original so a caller's downcast-based
+        // handling still works.
+        eprintln!("[pool] worker panicked running {what} (non-string payload)");
+        resume_unwind(payload);
+    };
+    panic!("worker panicked running {what}: {msg}");
 }
 
 #[cfg(test)]
@@ -95,5 +199,84 @@ mod tests {
     fn more_threads_than_items() {
         let items = [1u8, 2, 3];
         assert_eq!(parallel_map(&items, 64, |&x| x as u32), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn observe_sees_every_completion_on_the_caller_thread() {
+        let items: Vec<u32> = (0..50).collect();
+        let caller = std::thread::current().id();
+        for threads in [1, 4] {
+            let mut seen: Vec<(usize, u32)> = Vec::new();
+            let out = parallel_map_observed(
+                &items,
+                threads,
+                |&x| x + 1,
+                &|_| String::new(),
+                &mut |i, &v| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    seen.push((i, v));
+                },
+            );
+            assert_eq!(out.len(), 50);
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..50).map(|i| (i, i as u32 + 1)).collect::<Vec<_>>(),
+                "observe must fire exactly once per item ({threads} threads)"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_relabeled_with_the_item_identity() {
+        for threads in [1usize, 4] {
+            let items: Vec<u32> = (0..16).collect();
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_map_observed(
+                    &items,
+                    threads,
+                    |&x| {
+                        if x == 9 {
+                            panic!("simulated cell failure");
+                        }
+                        x
+                    },
+                    &|&x| format!("Unison @ {x}MB on Web Search [default] (seed 42)"),
+                    &mut |_, _| {},
+                )
+            }))
+            .expect_err("panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .expect("relabeled panic is a String")
+                .clone();
+            assert!(
+                msg.contains("Unison @ 9MB on Web Search [default] (seed 42)"),
+                "panic must name the failing cell ({threads} threads): {msg}"
+            );
+            assert!(msg.contains("simulated cell failure"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn observe_is_not_called_for_panicked_items() {
+        let items: Vec<u32> = (0..8).collect();
+        let mut observed = Vec::new();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_observed(
+                &items,
+                1,
+                |&x| {
+                    if x == 3 {
+                        panic!("boom");
+                    }
+                    x
+                },
+                &|_| String::new(),
+                &mut |i, _: &u32| observed.push(i),
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(observed, vec![0, 1, 2], "serial path observes the prefix");
     }
 }

@@ -76,8 +76,11 @@ pub fn write_csv(results: &CampaignResult, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, to_csv(results))
 }
 
+/// RFC-4180 field escaping: quote when the value contains a comma, a
+/// quote, or a line break (an unquoted newline would tear the row),
+/// doubling embedded quotes.
 fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -126,6 +129,8 @@ mod tests {
     fn csv_quotes_fields_with_commas() {
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

@@ -106,6 +106,23 @@ impl TraceStore {
         artifact
     }
 
+    /// Freezes every artifact in `tasks` in parallel on `threads`
+    /// workers — the executor's trace-prefill stage. Each task should
+    /// carry the maximum length any dependent cell replays (the planner
+    /// guarantees this), so the per-key grow-on-demand path never
+    /// regenerates mid-campaign.
+    pub fn prefill(&self, tasks: &[crate::scheduler::TracePrefillTask], threads: usize) {
+        crate::pool::parallel_map_observed(
+            tasks,
+            threads,
+            |t| {
+                self.get(&t.spec, t.seed, t.len);
+            },
+            &|t| format!("trace freeze for {} (seed {})", t.spec.name, t.seed),
+            &mut |_, ()| {},
+        );
+    }
+
     /// Artifacts actually generated (including regrowth of too-short
     /// cached ones).
     pub fn generated_traces(&self) -> usize {

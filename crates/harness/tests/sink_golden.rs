@@ -1,0 +1,194 @@
+//! Golden snapshots of the CSV and JSON sinks.
+//!
+//! The campaign result is **hand-built** (not simulated), so these
+//! fixtures pin the *rendering* — column order, scenario columns, float
+//! formatting, escaping — independent of the simulator. Regenerate with
+//! `UNISON_BLESS=1 cargo test -p unison-harness --test sink_golden`
+//! after an intentional format change.
+
+use unison_core::CacheStats;
+use unison_dram::{DramPreset, DramStats, EnergyCounters};
+use unison_harness::{sink, CampaignResult, CellResult};
+use unison_sim::{RunResult, SystemSpec};
+
+fn run(design: &str, workload: &str, cache_bytes: u64, uipc: f64) -> RunResult {
+    RunResult {
+        design: design.to_string(),
+        workload: workload.to_string(),
+        cache_bytes,
+        measured_accesses: 8_000_000,
+        instructions: 64_000_000,
+        elapsed_ps: 10_666_667_000,
+        uipc,
+        cache: CacheStats {
+            accesses: 8_000_000,
+            hits: 7_200_000,
+            trigger_misses: 500_000,
+            underprediction_misses: 200_000,
+            singleton_bypasses: 100_000,
+            offchip_read_bytes: 640_000_000,
+            offchip_write_bytes: 160_000_000,
+            ..CacheStats::default()
+        },
+        stacked: DramStats {
+            reads: 9_000_000,
+            writes: 2_000_000,
+            row_hits: 6_000_000,
+            row_empty: 3_000_000,
+            row_conflicts: 2_000_000,
+            bus_busy_ps: 4_000_000_000,
+        },
+        offchip: DramStats {
+            reads: 800_000,
+            writes: 200_000,
+            row_hits: 300_000,
+            row_empty: 500_000,
+            row_conflicts: 200_000,
+            bus_busy_ps: 1_000_000_000,
+        },
+        stacked_energy: EnergyCounters {
+            activations: 5_000_000,
+            read_cmds: 9_000_000,
+            write_cmds: 2_000_000,
+            bytes_read: 576_000_000,
+            bytes_written: 128_000_000,
+        },
+        offchip_energy: EnergyCounters {
+            activations: 700_000,
+            read_cmds: 800_000,
+            write_cmds: 200_000,
+            bytes_read: 640_000_000,
+            bytes_written: 160_000_000,
+        },
+    }
+}
+
+/// A fixed two-cell campaign: one paper-machine Unison cell and one
+/// exotic-scenario Alloy cell whose workload name needs CSV escaping.
+fn fixture() -> CampaignResult {
+    let quad = SystemSpec {
+        cores: Some(4),
+        offchip: DramPreset::Ddr4_2400,
+        ..SystemSpec::default()
+    };
+    CampaignResult {
+        cells: vec![
+            CellResult {
+                scenario: "default".to_string(),
+                system: SystemSpec::default(),
+                cores: 16,
+                seed: 42,
+                speedup: Some(1.234567),
+                run: run("Unison", "Web Search", 512 << 20, 1.5),
+            },
+            CellResult {
+                scenario: "c4+ddr4-2400".to_string(),
+                system: quad,
+                cores: 4,
+                seed: 7,
+                speedup: None,
+                run: run("Alloy", "He said \"16GB, please\"", 1 << 30, 0.75),
+            },
+        ],
+        baseline_runs: 1,
+        baseline_hits: 2,
+        trace_generated: 1,
+        trace_memo_hits: 3,
+        trace_disk_hits: 0,
+        resumed_cells: 0,
+    }
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("UNISON_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with UNISON_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "{name} diverged from its golden fixture; if the format change is \
+         intentional, regenerate with UNISON_BLESS=1"
+    );
+}
+
+#[test]
+fn csv_rendering_matches_golden() {
+    check_golden("sink.csv", &sink::to_csv(&fixture()));
+}
+
+#[test]
+fn json_rendering_matches_golden() {
+    check_golden("sink.json", &sink::to_json(&fixture()));
+}
+
+#[test]
+fn csv_includes_scenario_columns_for_every_row() {
+    let csv = sink::to_csv(&fixture());
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], sink::CSV_HEADER);
+    assert!(
+        lines[0].contains("scenario,cores,page_bytes,ways,way_policy,stacked_dram,offchip_dram")
+    );
+    // Row 1: the default machine — Unison geometry resolved, DDR3.
+    assert!(
+        lines[1].contains(",default,16,960,4,predict,stacked,ddr3-1600,"),
+        "{}",
+        lines[1]
+    );
+    // Row 2: the exotic machine — no Unison geometry for Alloy, DDR4.
+    assert!(
+        lines[2].contains(",c4+ddr4-2400,4,,,,stacked,ddr4-2400,"),
+        "{}",
+        lines[2]
+    );
+}
+
+#[test]
+fn csv_escapes_commas_and_quotes_in_names() {
+    let csv = sink::to_csv(&fixture());
+    let row = csv
+        .lines()
+        .find(|l| l.contains("Alloy"))
+        .expect("escaped row present");
+    // RFC-4180: the whole field quoted, embedded quotes doubled.
+    assert!(
+        row.starts_with("\"He said \"\"16GB, please\"\"\",Alloy,"),
+        "comma/quote workload name must be quoted and doubled: {row}"
+    );
+    // A strict CSV split on unquoted commas still yields the right
+    // number of columns.
+    let mut cols = 0;
+    let mut in_quotes = false;
+    for c in row.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => cols += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(cols + 1, sink::CSV_HEADER.split(',').count());
+}
+
+#[test]
+fn json_round_trips_the_cells() {
+    // The JSON sink's cells deserialize back to identical bytes — the
+    // property shard files and resume journals rely on.
+    let r = fixture();
+    let cells_json = serde_json::to_string(&r.cells).unwrap();
+    let back: Vec<CellResult> = serde_json::from_str(&cells_json).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), cells_json);
+}

@@ -268,8 +268,13 @@ impl Parser<'_> {
             .map_err(|_| self.err("invalid number"))?;
         if !float {
             if text.starts_with('-') {
-                if let Ok(n) = text.parse::<i64>() {
-                    return Ok(Value::I64(n));
+                // "-0" must stay a float: i64 has no negative zero, and
+                // result round-tripping (shard files, resume journals)
+                // needs render(parse("-0")) == "-0" bit-identically.
+                if text != "-0" {
+                    if let Ok(n) = text.parse::<i64>() {
+                        return Ok(Value::I64(n));
+                    }
                 }
             } else if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
@@ -442,6 +447,21 @@ mod tests {
         assert!(parse("\"\\ud83d\"").is_err(), "unpaired surrogate");
         // Raw multi-byte UTF-8 passes through.
         assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+
+    #[test]
+    fn negative_zero_round_trips_as_a_float() {
+        // i64 cannot hold -0.0; collapsing it to integer 0 would break
+        // the render→parse→render identity journals and shard files
+        // depend on.
+        let v = parse("-0").unwrap();
+        assert_eq!(v, Value::F64(-0.0));
+        match v {
+            Value::F64(x) => assert!(x.is_sign_negative()),
+            other => panic!("expected F64, got {other:?}"),
+        }
+        assert_eq!(to_string(&parse("-0").unwrap()).unwrap(), "-0");
+        assert_eq!(parse("-0.0").unwrap(), Value::F64(-0.0));
     }
 
     #[test]

@@ -72,22 +72,35 @@ pub fn artifact_key(spec: &WorkloadSpec, seed: u64) -> u64 {
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms
 /// (unlike `DefaultHasher`, whose output is explicitly unspecified).
-struct Fnv1a(u64);
+/// Public because every cross-process-stable key in the workspace
+/// (trace-artifact keys here, the harness's cell keys and plan
+/// fingerprints) must hash identically forever — one implementation,
+/// not three copies to keep in sync.
+pub struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    /// Feeds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

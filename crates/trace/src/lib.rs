@@ -49,7 +49,7 @@ pub mod stats;
 pub mod workloads;
 mod zipf;
 
-pub use artifact::{artifact_key, TraceArtifact, TraceReplay};
+pub use artifact::{artifact_key, Fnv1a, TraceArtifact, TraceReplay};
 pub use gen::WorkloadGen;
 pub use profile::{FunctionProfile, PatternClass, ProfileMix, REGION_BLOCKS, REGION_BYTES};
 pub use record::{AccessKind, TraceRecord, BLOCK_BYTES};
