@@ -1,0 +1,317 @@
+//! `bench-report`: roll the repo's performance story into one
+//! machine-readable JSON artifact.
+//!
+//! ```sh
+//! cargo run --release -p unison-bench --bin bench-report -- \
+//!     --label v6 --scale 16 --threads 8
+//! ```
+//!
+//! The report combines two views of the same codebase:
+//!
+//! * **Microbenchmarks** — wall-clock nanoseconds per operation for the
+//!   hot paths the criterion suite tracks interactively: the SoA
+//!   metadata probe/touch walk, trace-artifact replay, and raw workload
+//!   generation. These are quick inline loops (not criterion), sized to
+//!   settle in well under a second each.
+//! * **Campaign timing** — a small headline campaign (four designs, two
+//!   workloads, 512 MB) run under the harness telemetry layer: phase
+//!   breakdown, per-design mean cell time and throughput, and the
+//!   geomean speedups the cells produced (so a perf regression that
+//!   changes *results* is visible next to one that changes *speed*).
+//!
+//! The output lands in `BENCH_<label>.json` (override with `--out`).
+//! Checked-in snapshots of this file form the repo's perf trajectory:
+//! compare two snapshots field-by-field to see what a change cost.
+//! Timings are wall-clock and machine-dependent — compare snapshots
+//! from the same machine class, or lean on the dimensionless ratios.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+use unison_bench::{BenchOpts, Table};
+use unison_core::{MetaStore, PageMeta, Replacement};
+use unison_harness::telemetry::fmt_ns;
+use unison_harness::{stats, ScenarioGrid};
+use unison_sim::Design;
+use unison_trace::{workloads, TraceArtifact, WorkloadGen};
+
+/// Bumped when the report layout changes shape (fields added are not a
+/// bump; fields renamed or reinterpreted are).
+const SCHEMA_VERSION: u32 = 1;
+
+/// The complete report document (`BENCH_<label>.json`).
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    label: String,
+    config: ReportConfig,
+    microbench: Microbench,
+    campaign: CampaignReport,
+}
+
+/// The knobs that shaped this snapshot — two reports are only
+/// comparable when these match.
+#[derive(Debug, Serialize)]
+struct ReportConfig {
+    scale: u64,
+    accesses: u64,
+    seed: u64,
+    threads: usize,
+    quick: bool,
+}
+
+/// Nanoseconds per operation for the hot inner loops.
+#[derive(Debug, Serialize)]
+struct Microbench {
+    /// SoA metadata probe + touch (the per-access walk of every design).
+    probe_ns_per_op: f64,
+    /// Replaying one record from a frozen trace artifact.
+    replay_ns_per_record: f64,
+    /// Generating one record from scratch (what replay amortizes away).
+    generate_ns_per_record: f64,
+}
+
+/// Telemetry of the headline campaign.
+#[derive(Debug, Serialize)]
+struct CampaignReport {
+    cells: usize,
+    /// End-to-end campaign wall time and its phase breakdown.
+    wall_ns: u64,
+    trace_prefill_ns: u64,
+    baseline_ns: u64,
+    cells_ns: u64,
+    /// Mean per-cell compute time across every cell.
+    cell_wall_ns_mean: u64,
+    /// Completed cells per wall-clock second (across the pool).
+    cells_per_sec: f64,
+    designs: Vec<DesignReport>,
+}
+
+/// One design's slice of the campaign.
+#[derive(Debug, Serialize)]
+struct DesignReport {
+    design: String,
+    cells: usize,
+    mean_cell_ns: u64,
+    /// Single-thread throughput implied by the mean cell time.
+    cells_per_sec: f64,
+    /// Geomean speedup over NoCache across the campaign's workloads —
+    /// the *result* the timing paid for.
+    geomean_speedup: Option<f64>,
+}
+
+/// Times `iters` repetitions of `op` and returns nanoseconds per call.
+fn ns_per_op<T>(iters: u64, mut op: impl FnMut(u64) -> T) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        black_box(op(i));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The SoA probe/touch walk, mirroring the criterion `meta` group but
+/// sized to finish fast: the geometry is smaller, the scattered set
+/// stride is the same.
+fn bench_probe(quick: bool) -> f64 {
+    let sets: u64 = if quick { 1 << 12 } else { 1 << 16 };
+    let ways: u32 = 4;
+    let mut store = MetaStore::paged(sets, ways, Replacement::AgingLru);
+    for set in 0..sets {
+        for w in 0..ways {
+            store.install(
+                set,
+                w,
+                PageMeta {
+                    tag: u64::from(w) * 3 + (set % 5),
+                    present: 0x7ff,
+                    demanded: 0x0f1,
+                    dirty: 0x011,
+                    predicted: 0x7ff,
+                    pc: 0x400 + set,
+                    offset: (set % 15) as u8,
+                },
+            );
+            store.touch(set, w, 0);
+        }
+    }
+    let iters = if quick { 200_000 } else { 2_000_000 };
+    ns_per_op(iters, |i| {
+        let set = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % sets;
+        let found = store.probe_set(set, i % 16);
+        if let Some(w) = found {
+            store.touch(set, w, 0);
+        }
+        found
+    })
+}
+
+/// Replay throughput of a frozen artifact (wrap-around, zero-alloc).
+fn bench_replay(quick: bool) -> f64 {
+    let len: u64 = if quick { 100_000 } else { 1_000_000 };
+    let artifact = TraceArtifact::freeze(&workloads::tpch().scaled(8), 3, len);
+    let mut replay = artifact.replay();
+    ns_per_op(2 * len, |_| match replay.next() {
+        Some(r) => Some(r),
+        None => {
+            replay = artifact.replay();
+            replay.next()
+        }
+    })
+}
+
+/// Generation throughput of the same stream replay freezes.
+fn bench_generate(quick: bool) -> f64 {
+    let iters = if quick { 100_000 } else { 1_000_000 };
+    let mut gen = WorkloadGen::new(workloads::tpch().scaled(8), 3);
+    ns_per_op(iters, |_| gen.next())
+}
+
+/// The headline campaign: the four figure-7 designs on two contrasting
+/// workloads at the paper's default 512 MB point.
+fn run_campaign(opts: &BenchOpts) -> CampaignReport {
+    let grid_workloads = [workloads::web_search(), workloads::tpch()];
+    let designs = [
+        Design::Alloy,
+        Design::Footprint,
+        Design::Unison,
+        Design::Ideal,
+    ];
+    let size = 512u64 << 20;
+    let grid = ScenarioGrid::new()
+        .designs(designs)
+        .workloads(grid_workloads.clone())
+        .sizes([size]);
+    let results = opts.campaign().run_speedups(&grid);
+    let summary = results.summary();
+
+    let mut per_design = Vec::new();
+    for d in designs {
+        let name = d.name();
+        let cells: Vec<_> = results
+            .cells()
+            .iter()
+            .filter(|c| c.design() == name)
+            .collect();
+        let wall: Vec<f64> = cells.iter().map(|c| c.wall_ns as f64).collect();
+        let mean = stats::mean(&wall).unwrap_or(0.0);
+        per_design.push(DesignReport {
+            design: name.clone(),
+            cells: cells.len(),
+            mean_cell_ns: mean as u64,
+            cells_per_sec: if mean > 0.0 { 1e9 / mean } else { 0.0 },
+            geomean_speedup: results.geomean_speedup_in_scenario("default", &name, size),
+        });
+    }
+
+    let total_secs = results.timing.total_ns as f64 / 1e9;
+    CampaignReport {
+        cells: results.cells().len(),
+        wall_ns: results.timing.total_ns,
+        trace_prefill_ns: results.timing.trace_prefill_ns,
+        baseline_ns: results.timing.baseline_ns,
+        cells_ns: results.timing.cells_ns,
+        cell_wall_ns_mean: summary.cell_wall_ns_mean,
+        cells_per_sec: if total_secs > 0.0 {
+            results.cells().len() as f64 / total_secs
+        } else {
+            0.0
+        },
+        designs: per_design,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench-report [--label NAME] [--out PATH] [shared bench flags]\n\
+         \x20 --label NAME  snapshot label (default: local); names BENCH_<label>.json\n\
+         \x20 --out PATH    output path (default: BENCH_<label>.json)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let (opts, extra) = BenchOpts::parse_known(std::env::args().skip(1));
+    let mut label = String::from("local");
+    let mut out: Option<PathBuf> = None;
+    let mut it = extra.into_iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--label" => label = grab(),
+            "--out" => out = Some(PathBuf::from(grab())),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+
+    opts.print_header("Bench report: perf trajectory snapshot");
+
+    println!("microbenchmarks:");
+    let micro = Microbench {
+        probe_ns_per_op: bench_probe(opts.quick),
+        replay_ns_per_record: bench_replay(opts.quick),
+        generate_ns_per_record: bench_generate(opts.quick),
+    };
+    println!("  meta probe+touch   {:>10.1} ns/op", micro.probe_ns_per_op);
+    println!(
+        "  artifact replay    {:>10.1} ns/record",
+        micro.replay_ns_per_record
+    );
+    println!(
+        "  workload generate  {:>10.1} ns/record ({:.1}x replay)",
+        micro.generate_ns_per_record,
+        micro.generate_ns_per_record / micro.replay_ns_per_record.max(1e-9)
+    );
+    println!();
+
+    println!("headline campaign (4 designs x 2 workloads, 512M):");
+    let campaign = run_campaign(&opts);
+    let mut t = Table::new(
+        ["Design", "Cells", "Mean cell", "Cells/s", "Geomean speedup"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    for d in &campaign.designs {
+        t.row(vec![
+            d.design.clone(),
+            d.cells.to_string(),
+            fmt_ns(d.mean_cell_ns),
+            format!("{:.2}", d.cells_per_sec),
+            d.geomean_speedup
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    t.print();
+    println!(
+        "campaign wall time {} ({} trace prefill, {} baselines, {} cells); {:.2} cells/s overall",
+        fmt_ns(campaign.wall_ns),
+        fmt_ns(campaign.trace_prefill_ns),
+        fmt_ns(campaign.baseline_ns),
+        fmt_ns(campaign.cells_ns),
+        campaign.cells_per_sec,
+    );
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        label,
+        config: ReportConfig {
+            scale: opts.cfg.scale,
+            accesses: opts.cfg.accesses,
+            seed: opts.cfg.seed,
+            threads: opts.threads,
+            quick: opts.quick,
+        },
+        microbench: micro,
+        campaign,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("\n(wrote {})", out.display());
+}

@@ -38,6 +38,7 @@ use unison_bench::table::{pct, size_label, speedup};
 use unison_bench::{BenchOpts, Table};
 use unison_core::WayPolicy;
 use unison_dram::DramPreset;
+use unison_harness::telemetry::fmt_ns;
 use unison_harness::{
     merge_shards, CampaignResult, ScenarioGrid, ShardOutput, ShardSpec, TaskPlan,
 };
@@ -55,6 +56,7 @@ struct SweepArgs {
     shard: Option<ShardSpec>,
     merge: Vec<String>,
     list: bool,
+    canonical: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -70,13 +72,15 @@ fn fail(msg: &str) -> ! {
          [--seeds s1,s2,..] [--cores n1,n2,..] [--dram-preset p1,p2,..] \
          [--offchip-preset p1,p2,..] [--page-bytes b1,b2,..] [--ways w1,w2,..] \
          [--way-policy p1,p2,..] [--scenario FILE.json] [--dump-scenario] \
-         [--metric speedup|miss] [--shard I/N] [--merge FILE..] [--list] \
+         [--metric speedup|miss] [--shard I/N] [--merge FILE..] [--list] [--canonical] \
          [shared bench flags]"
     );
     eprintln!("  --shard I/N   run only shard I (1-based) of a deterministic N-way cell");
     eprintln!("                partition; writes a shard-output file to --json (required)");
     eprintln!("  --merge F..   verify + merge shard-output files from the same grid flags");
     eprintln!("  --list        print every valid design, preset, policy, and workload");
+    eprintln!("  --canonical   write --json as the timing-stripped cells array (byte-identical");
+    eprintln!("                across reruns/shardings/resumes) instead of the summary document");
     eprintln!("  designs:      {}", Design::VALID_NAMES);
     eprintln!("  dram presets: {}", DramPreset::valid_names());
     eprintln!("  way policies: {}", WayPolicy::valid_names());
@@ -198,6 +202,7 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
         shard: None,
         merge: Vec::new(),
         list: false,
+        canonical: false,
     };
     let mut axes = AxisFlags::default();
     let mut scenario_files: Vec<String> = Vec::new();
@@ -273,6 +278,7 @@ fn parse_sweep_args(extra: Vec<String>) -> SweepArgs {
                 }
             }
             "--list" => args.list = true,
+            "--canonical" => args.canonical = true,
             "--metric" => {
                 args.metric = match grab().as_str() {
                     "speedup" => Metric::Speedup,
@@ -545,13 +551,36 @@ fn main() {
         String::new()
     };
     println!(
-        "{} cells on {} thread(s){restored}; baselines: {} simulated, {} memo hits",
+        "{} cells on {} thread(s){restored}; baselines: {} simulated, {} memo hits; \
+         traces: {} generated, {} memo hits, {} disk hits",
         results.cells().len(),
         opts.threads,
         results.baseline_runs,
-        results.baseline_hits
+        results.baseline_hits,
+        results.trace_generated,
+        results.trace_memo_hits,
+        results.trace_disk_hits,
     );
+    let summary = results.summary();
+    if !results.timing.is_zero() {
+        println!(
+            "wall time: {} ({} trace prefill, {} baselines, {} cells); \
+             mean cell {} ({} aggregate compute)",
+            fmt_ns(results.timing.total_ns),
+            fmt_ns(results.timing.trace_prefill_ns),
+            fmt_ns(results.timing.baseline_ns),
+            fmt_ns(results.timing.cells_ns),
+            fmt_ns(summary.cell_wall_ns_mean),
+            fmt_ns(summary.cell_wall_ns_total),
+        );
+    }
 
-    opts.maybe_dump_json(&results.cells);
+    if sweep.canonical {
+        // The byte-identity artifact: timing stripped, cells only — what
+        // the CI shard-merge smoke byte-compares across reruns.
+        opts.maybe_dump_json(&results.canonical_cells());
+    } else {
+        opts.maybe_dump_campaign_json(&results);
+    }
     opts.maybe_dump_csv(&results);
 }

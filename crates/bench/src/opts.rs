@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use unison_harness::{sink, Campaign, CampaignResult, TracePolicy};
+use unison_harness::{sink, Campaign, CampaignResult, ProgressConfig, TracePolicy};
 use unison_sim::SimConfig;
 
 /// Environment variable naming the on-disk trace-artifact cache
@@ -36,6 +36,10 @@ pub struct BenchOpts {
     /// Resume from the journal (`--resume`): cells already recorded
     /// there are restored instead of re-simulated.
     pub resume: bool,
+    /// Explicit progress stream (`--progress[=SECS]` for human-readable
+    /// stderr lines, `--progress-json[=SECS]` for JSONL events). `None`
+    /// keeps the historical default: per-cell lines unless `--quick`.
+    pub progress: Option<ProgressConfig>,
 }
 
 impl Default for BenchOpts {
@@ -50,6 +54,7 @@ impl Default for BenchOpts {
             no_trace_cache: false,
             journal: None,
             resume: false,
+            progress: None,
         }
     }
 }
@@ -138,6 +143,12 @@ impl BenchOpts {
                 "--resume" => opts.resume = true,
                 "--quick" => {} // already applied before the loop
                 "--help" | "-h" => usage(""),
+                s if s == "--progress-json" || s.starts_with("--progress-json=") => {
+                    opts.progress = Some(ProgressConfig::json(parse_interval(s)));
+                }
+                s if s == "--progress" || s.starts_with("--progress=") => {
+                    opts.progress = Some(ProgressConfig::human(parse_interval(s)));
+                }
                 other => leftover.push(other.to_string()),
             }
         }
@@ -168,13 +179,25 @@ impl BenchOpts {
         }
     }
 
+    /// The progress configuration these options select: the explicit
+    /// `--progress`/`--progress-json` stream when given, otherwise the
+    /// historical default (per-cell lines, suppressed in `--quick` smoke
+    /// runs to keep bench output clean).
+    pub fn progress_config(&self) -> ProgressConfig {
+        self.progress.unwrap_or(if self.quick {
+            ProgressConfig::off()
+        } else {
+            ProgressConfig::per_cell()
+        })
+    }
+
     /// Builds the experiment [`Campaign`] for these options: the shared
-    /// `SimConfig`, the requested pool width, and progress streaming (off
-    /// in `--quick` smoke runs to keep bench output clean).
+    /// `SimConfig`, the requested pool width, and progress streaming
+    /// ([`Self::progress_config`]).
     pub fn campaign(&self) -> Campaign {
         let mut c = Campaign::new(self.cfg)
             .threads(self.threads)
-            .progress(!self.quick)
+            .progress_config(self.progress_config())
             .traces(self.trace_policy());
         if let Some(path) = &self.journal {
             c = c.journal(path.clone()).resume(self.resume);
@@ -216,6 +239,16 @@ impl BenchOpts {
         }
     }
 
+    /// Writes the campaign's full JSON document (counter/timing summary
+    /// + cells, [`sink::to_json`]) if `--json` was given.
+    pub fn maybe_dump_campaign_json(&self, results: &CampaignResult) {
+        if let Some(path) = &self.json {
+            sink::write_json(results, path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("\n(wrote {})", path.display());
+        }
+    }
+
     /// Writes the campaign's flat CSV if `--csv` was given.
     pub fn maybe_dump_csv(&self, results: &CampaignResult) {
         if let Some(path) = &self.csv {
@@ -226,13 +259,24 @@ impl BenchOpts {
     }
 }
 
+/// Parses the optional `=SECS` suffix of a `--progress[=SECS]` /
+/// `--progress-json[=SECS]` flag.
+fn parse_interval(flag: &str) -> Option<u64> {
+    let (_, secs) = flag.split_once('=')?;
+    Some(
+        secs.parse()
+            .unwrap_or_else(|_| usage(&format!("bad interval in {flag} (want whole seconds)"))),
+    )
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!(
         "usage: <bin> [--scale N] [--accesses N] [--seed N] [--threads N] [--json PATH] [--csv PATH] \
-         [--trace-cache DIR] [--no-trace-cache] [--journal PATH] [--resume] [--quick]"
+         [--trace-cache DIR] [--no-trace-cache] [--journal PATH] [--resume] [--quick] \
+         [--progress[=SECS]] [--progress-json[=SECS]]"
     );
     eprintln!(
         "  --trace-cache DIR   persist frozen trace artifacts in DIR (default: $UNISON_TRACE_CACHE)"
@@ -240,6 +284,11 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --no-trace-cache    regenerate traces per cell (no artifact sharing)");
     eprintln!("  --journal PATH      checkpoint completed cells to PATH (JSONL, append-only)");
     eprintln!("  --resume            restore completed cells from --journal instead of re-running");
+    eprintln!(
+        "  --progress[=SECS]   live status on stderr every SECS (default 2): cells done/total,"
+    );
+    eprintln!("                      mean cell time, ETA, cache hit rates, per-design throughput");
+    eprintln!("  --progress-json[=SECS]  the same stream as machine-readable JSONL events");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -359,6 +408,34 @@ mod tests {
         assert!(o.resume);
         let o = BenchOpts::parse(["--journal", "/tmp/c.jsonl"].iter().map(|s| s.to_string()));
         assert!(!o.resume, "--journal alone starts a fresh journal");
+    }
+
+    #[test]
+    fn progress_flags_select_modes_and_intervals() {
+        use unison_harness::ProgressMode;
+        // Historical defaults: per-cell lines, off under --quick.
+        let o = BenchOpts::parse(Vec::<String>::new());
+        assert_eq!(o.progress_config(), ProgressConfig::per_cell());
+        let o = BenchOpts::parse(["--quick".to_string()]);
+        assert_eq!(o.progress_config(), ProgressConfig::off());
+
+        let o = BenchOpts::parse(["--progress".to_string()]);
+        assert_eq!(o.progress_config().mode, ProgressMode::Human);
+        assert_eq!(
+            o.progress_config().interval_ns,
+            ProgressConfig::DEFAULT_INTERVAL_NS
+        );
+
+        let o = BenchOpts::parse(["--progress=7".to_string()]);
+        assert_eq!(o.progress_config().interval_ns, 7_000_000_000);
+
+        let o = BenchOpts::parse(["--progress-json=1".to_string()]);
+        assert_eq!(o.progress_config().mode, ProgressMode::Json);
+        assert_eq!(o.progress_config().interval_ns, 1_000_000_000);
+
+        // Explicit stream beats the --quick suppression.
+        let o = BenchOpts::parse(["--quick".to_string(), "--progress".to_string()]);
+        assert_eq!(o.progress_config().mode, ProgressMode::Human);
     }
 
     #[test]

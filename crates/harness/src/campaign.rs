@@ -21,11 +21,13 @@ use crate::baseline::BaselineStore;
 use crate::grid::{Cell, ScenarioGrid};
 use crate::journal::{IndexedCell, Journal, ShardOutput};
 use crate::pool::{self, parallel_map};
+use crate::progress::{CounterSnapshot, ProgressConfig, ProgressReporter};
 use crate::scheduler::{
     BaselineTask, ExecHooks, Executor, InProcessExecutor, ShardSpec, ShardedExecutor, TaskPlan,
     TracePrefillTask,
 };
 use crate::stats::geomean;
+use crate::telemetry::{CampaignTiming, Clock, MonotonicClock, Phase, Telemetry};
 use crate::trace_store::TraceStore;
 
 /// One executed cell: the simulation outcome plus the scenario and seed
@@ -52,12 +54,30 @@ pub struct CellResult {
     pub speedup: Option<f64>,
     /// The full simulation result.
     pub run: RunResult,
+    /// Wall time this cell took to simulate, in nanoseconds (0 for
+    /// NoCache cells that reuse the memoized baseline without running).
+    ///
+    /// Timing is **observability, not identity**: it never feeds the
+    /// plan fingerprint or cell keys, and bit-identity comparisons
+    /// (shard merge, resume, CI byte-compares) strip it first via
+    /// [`CellResult::canonicalized`] — two runs of the same cell produce
+    /// identical simulation payloads but necessarily different clocks.
+    pub wall_ns: u64,
 }
 
 impl CellResult {
     /// Design display name.
     pub fn design(&self) -> &str {
         &self.run.design
+    }
+
+    /// A copy with the timing stripped (`wall_ns = 0`): the canonical
+    /// form byte-identity comparisons reduce cells to before comparing.
+    pub fn canonicalized(&self) -> CellResult {
+        CellResult {
+            wall_ns: 0,
+            ..self.clone()
+        }
     }
 
     /// Workload display name.
@@ -91,12 +111,42 @@ pub struct CampaignResult {
     /// Cells restored from a `--resume` checkpoint journal instead of
     /// re-simulated (0 for campaigns without a journal).
     pub resumed_cells: usize,
+    /// Per-phase wall-time summary (summed across shards for merged
+    /// results; all zeros for hand-built fixtures).
+    pub timing: CampaignTiming,
 }
 
 impl CampaignResult {
     /// The executed cells in grid order.
     pub fn cells(&self) -> &[CellResult] {
         &self.cells
+    }
+
+    /// The cells with all timing stripped ([`CellResult::canonicalized`])
+    /// — what bit-identity tests and the CI byte-compare serialize, so
+    /// that runs which are identical in every simulated respect compare
+    /// equal despite wall clocks never repeating.
+    pub fn canonical_cells(&self) -> Vec<CellResult> {
+        self.cells.iter().map(CellResult::canonicalized).collect()
+    }
+
+    /// Rolls the memoization counters and timing into the summary block
+    /// the JSON sink renders and the `sweep` footer prints.
+    pub fn summary(&self) -> CampaignSummary {
+        let cell_wall_ns_total: u64 = self.cells.iter().map(|c| c.wall_ns).sum();
+        let n = self.cells.len() as u64;
+        CampaignSummary {
+            cells: self.cells.len(),
+            baseline_runs: self.baseline_runs,
+            baseline_hits: self.baseline_hits,
+            trace_generated: self.trace_generated,
+            trace_memo_hits: self.trace_memo_hits,
+            trace_disk_hits: self.trace_disk_hits,
+            resumed_cells: self.resumed_cells,
+            cell_wall_ns_total,
+            cell_wall_ns_mean: cell_wall_ns_total.checked_div(n).unwrap_or(0),
+            timing: self.timing,
+        }
     }
 
     /// First cell matching `(workload, design name, cache size)`.
@@ -181,6 +231,34 @@ impl CampaignResult {
     }
 }
 
+/// The counter-and-timing summary of one campaign: everything
+/// [`CampaignResult`] knows besides the cells themselves, in one
+/// serializable block ([`CampaignResult::summary`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignSummary {
+    /// Number of executed (or restored) cells.
+    pub cells: usize,
+    /// NoCache baseline simulations actually executed.
+    pub baseline_runs: usize,
+    /// Baseline requests served from the memo cache.
+    pub baseline_hits: usize,
+    /// Trace artifacts generated.
+    pub trace_generated: usize,
+    /// Trace requests served from the in-memory artifact memo.
+    pub trace_memo_hits: usize,
+    /// Trace requests served from the on-disk artifact cache.
+    pub trace_disk_hits: usize,
+    /// Cells restored from a resume journal.
+    pub resumed_cells: usize,
+    /// Sum of per-cell wall times — aggregate simulation compute, which
+    /// exceeds elapsed time on a multi-threaded pool.
+    pub cell_wall_ns_total: u64,
+    /// Mean per-cell wall time.
+    pub cell_wall_ns_mean: u64,
+    /// Per-phase wall-time summary.
+    pub timing: CampaignTiming,
+}
+
 /// How a campaign sources its trace record streams.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum TracePolicy {
@@ -205,10 +283,11 @@ pub enum TracePolicy {
 pub struct Campaign {
     cfg: SimConfig,
     threads: usize,
-    progress: bool,
+    progress: ProgressConfig,
     traces: TracePolicy,
     journal: Option<PathBuf>,
     resume: bool,
+    clock: Arc<dyn Clock>,
 }
 
 impl Campaign {
@@ -218,10 +297,11 @@ impl Campaign {
         Campaign {
             cfg,
             threads: pool::default_threads(),
-            progress: false,
+            progress: ProgressConfig::off(),
             traces: TracePolicy::default(),
             journal: None,
             resume: false,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -232,9 +312,33 @@ impl Campaign {
         self
     }
 
-    /// Enables per-cell progress lines on stderr.
+    /// Enables per-cell progress lines on stderr (shorthand for
+    /// [`Self::progress_config`] with
+    /// [`ProgressConfig::per_cell`] / [`ProgressConfig::off`]).
     pub fn progress(mut self, on: bool) -> Self {
-        self.progress = on;
+        self.progress = if on {
+            ProgressConfig::per_cell()
+        } else {
+            ProgressConfig::off()
+        };
+        self
+    }
+
+    /// Sets the full progress-reporting configuration (mode + emission
+    /// interval) — what `sweep --progress[=SECS]` / `--progress-json`
+    /// drive.
+    pub fn progress_config(mut self, cfg: ProgressConfig) -> Self {
+        self.progress = cfg;
+        self
+    }
+
+    /// Injects the clock used for all campaign telemetry (phase timers,
+    /// per-cell `wall_ns`, progress rate-limiting). Defaults to the real
+    /// [`MonotonicClock`]; tests inject a
+    /// [`MockClock`](crate::telemetry::MockClock) for deterministic
+    /// timing.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -367,10 +471,11 @@ impl Campaign {
         let assigned = executor.assigned(&plan);
         let assigned_set: HashSet<usize> = assigned.iter().copied().collect();
 
+        let telemetry = Telemetry::new(Arc::clone(&self.clock));
         let (journal, mut restored) = self.open_journal(&plan);
         restored.retain(|e| assigned_set.contains(&e.index));
         restored.sort_by_key(|e| e.index);
-        if self.progress && !restored.is_empty() {
+        if self.progress.banners() && !restored.is_empty() {
             eprintln!(
                 "[harness] restored {} completed cell(s) from journal {}",
                 restored.len(),
@@ -398,14 +503,16 @@ impl Campaign {
                 .into_iter()
                 .map(|i| plan.prefills[i].clone())
                 .collect();
-            if self.progress && !tasks.is_empty() {
+            if self.progress.banners() && !tasks.is_empty() {
                 eprintln!(
                     "[harness] freezing {} trace artifact(s) on {} thread(s)",
                     tasks.len(),
                     self.threads
                 );
             }
-            traces.prefill(&tasks, self.threads);
+            telemetry.time_phase(Phase::TracePrefill, || {
+                traces.prefill(&tasks, self.threads);
+            });
         }
         let store = speedups.then(|| {
             let mut store = BaselineStore::new(self.cfg);
@@ -422,47 +529,76 @@ impl Campaign {
             needed.sort_unstable();
             needed.dedup();
             let tasks: Vec<&BaselineTask> = needed.iter().map(|&i| &plan.baselines[i]).collect();
-            if self.progress && !tasks.is_empty() {
+            if self.progress.banners() && !tasks.is_empty() {
                 eprintln!(
                     "[harness] prefilling {} baseline(s) on {} thread(s)",
                     tasks.len(),
                     self.threads
                 );
             }
-            pool::parallel_map_observed(
-                &tasks,
-                self.threads,
-                |t| {
-                    store.get_for_system(&t.workload, &t.system, t.seed);
-                },
-                &|t| format!("NoCache baseline for {} (seed {})", t.workload.name, t.seed),
-                &mut |_, ()| {},
-            );
+            telemetry.time_phase(Phase::Baseline, || {
+                pool::parallel_map_observed(
+                    &tasks,
+                    self.threads,
+                    |t| {
+                        store.get_for_system(&t.workload, &t.system, t.seed);
+                    },
+                    &|t| format!("NoCache baseline for {} (seed {})", t.workload.name, t.seed),
+                    &mut |_, ()| {},
+                );
+            });
         }
 
-        let total = to_run.len();
-        let mut done = 0usize;
-        let executed = executor.execute(
-            &plan,
-            ExecHooks {
-                threads: self.threads,
-                skip: &skip,
-                run: &|pc| self.run_cell(&pc.cell, store.as_ref(), traces.as_deref()),
-                observe: &mut |pc, r| {
-                    if let Some(j) = &journal {
-                        j.append(&IndexedCell {
-                            index: pc.index,
-                            key: pc.key.hex(),
-                            result: r.clone(),
-                        });
-                    }
-                    if self.progress {
-                        done += 1;
-                        eprintln!("[harness {done}/{total}] {} done", pc.cell.describe());
-                    }
-                },
-            },
+        // Live-progress snapshots of the dependency-cache counters.
+        let counters = || CounterSnapshot {
+            baseline_runs: store.as_ref().map_or(0, BaselineStore::computed_runs),
+            baseline_hits: store.as_ref().map_or(0, BaselineStore::cache_hits),
+            trace_generated: traces.as_ref().map_or(0, |t| t.generated_traces()),
+            trace_memo_hits: traces.as_ref().map_or(0, |t| t.memo_hits()),
+            trace_disk_hits: traces.as_ref().map_or(0, |t| t.disk_hits()),
+        };
+        let mut reporter = ProgressReporter::new(
+            self.progress,
+            self.threads,
+            to_run.len(),
+            restored.len(),
+            telemetry.now_ns(),
         );
+        let executed = telemetry.time_phase(Phase::Cells, || {
+            executor.execute(
+                &plan,
+                ExecHooks {
+                    threads: self.threads,
+                    skip: &skip,
+                    run: &|pc| {
+                        // Stamped on the worker thread: wall time of this
+                        // cell's simulation alone, excluding queueing.
+                        let start = telemetry.now_ns();
+                        let mut r = self.run_cell(&pc.cell, store.as_ref(), traces.as_deref());
+                        r.wall_ns = telemetry.now_ns().saturating_sub(start);
+                        r
+                    },
+                    observe: &mut |pc, r| {
+                        if let Some(j) = &journal {
+                            j.append(&IndexedCell {
+                                index: pc.index,
+                                key: pc.key.hex(),
+                                result: r.clone(),
+                            });
+                        }
+                        if let Some(line) = reporter.on_cell(
+                            telemetry.now_ns(),
+                            r.design(),
+                            &pc.cell.describe(),
+                            r.wall_ns,
+                            counters(),
+                        ) {
+                            eprintln!("{line}");
+                        }
+                    },
+                },
+            )
+        });
 
         let resumed_cells = restored.len();
         let mut cells = restored;
@@ -486,6 +622,7 @@ impl Campaign {
             trace_memo_hits: traces.as_ref().map_or(0, |t| t.memo_hits()),
             trace_disk_hits: traces.as_ref().map_or(0, |t| t.disk_hits()),
             resumed_cells,
+            timing: telemetry.timing(),
         }
     }
 
@@ -505,6 +642,9 @@ impl Campaign {
             seed: cell.seed,
             speedup,
             run,
+            // Stamped by run_plan's run hook; stays 0 for cells built
+            // outside a plan (tests, NoCache baseline reuse).
+            wall_ns: 0,
         };
         // The shared artifact for this cell's (workload, system, seed),
         // when trace sharing is on. Held across the run; clones of the
@@ -613,8 +753,8 @@ mod tests {
             .traces(TracePolicy::Memoize)
             .run_speedups(&grid);
         assert_eq!(
-            serde_json::to_string(&generated.cells).unwrap(),
-            serde_json::to_string(&memoized.cells).unwrap(),
+            serde_json::to_string(&generated.canonical_cells()).unwrap(),
+            serde_json::to_string(&memoized.canonical_cells()).unwrap(),
             "replayed campaign diverged from regenerating campaign"
         );
         assert_eq!(generated.trace_generated, 0);
@@ -656,11 +796,43 @@ mod tests {
         );
         assert_eq!(second.trace_disk_hits, 1);
         assert_eq!(
-            serde_json::to_string(&first.cells).unwrap(),
-            serde_json::to_string(&second.cells).unwrap()
+            serde_json::to_string(&first.canonical_cells()).unwrap(),
+            serde_json::to_string(&second.canonical_cells()).unwrap()
         );
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executed_cells_are_stamped_with_wall_time_from_the_injected_clock() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Deterministic test clock: every reading advances 1 µs, so any
+        /// (start, end) pair differs by a positive, repeatable amount.
+        #[derive(Debug, Default)]
+        struct TickClock(AtomicU64);
+        impl Clock for TickClock {
+            fn now_ns(&self) -> u64 {
+                self.0.fetch_add(1_000, Ordering::Relaxed)
+            }
+        }
+
+        let r = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .clock(Arc::new(TickClock::default()))
+            .run_speedups(&tiny_grid());
+        assert!(
+            r.cells.iter().all(|c| c.wall_ns > 0),
+            "every executed cell must carry a positive wall time"
+        );
+        assert!(r.timing.cells_ns > 0, "cells phase must be timed");
+        assert!(r.timing.baseline_ns > 0, "baseline phase must be timed");
+        assert_eq!(
+            r.timing.total_ns,
+            r.timing.trace_prefill_ns + r.timing.baseline_ns + r.timing.cells_ns
+        );
+        // Canonicalization strips all of it.
+        assert!(r.canonical_cells().iter().all(|c| c.wall_ns == 0));
     }
 
     #[test]

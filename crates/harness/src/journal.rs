@@ -27,9 +27,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::campaign::{CampaignResult, CellResult};
 use crate::scheduler::TaskPlan;
+use crate::telemetry::CampaignTiming;
 
 /// Journal schema version (the header's `unison_journal` field).
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// Version history: 1 — original `CellResult` schema; 2 — cells carry
+/// per-cell `wall_ns` (a version-1 journal's entries no longer parse, so
+/// resuming one fails at the header with a clear version message instead
+/// of a confusing mid-file "corrupt entry" error).
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// One completed cell tagged with its plan position and stable key —
 /// the unit both the journal and shard outputs record.
@@ -330,6 +336,8 @@ pub struct ShardOutput {
     pub trace_disk_hits: usize,
     /// Cells restored from a resume journal instead of executed.
     pub resumed_cells: usize,
+    /// Per-phase wall-time summary of this shard's run.
+    pub timing: CampaignTiming,
 }
 
 impl ShardOutput {
@@ -374,6 +382,7 @@ pub fn merge_shards(outputs: Vec<ShardOutput>) -> Result<CampaignResult, String>
         trace_memo_hits: 0,
         trace_disk_hits: 0,
         resumed_cells: 0,
+        timing: CampaignTiming::default(),
     };
     for (n, out) in outputs.into_iter().enumerate() {
         if out.fingerprint != fingerprint {
@@ -409,6 +418,7 @@ pub fn merge_shards(outputs: Vec<ShardOutput>) -> Result<CampaignResult, String>
         result.trace_memo_hits += out.trace_memo_hits;
         result.trace_disk_hits += out.trace_disk_hits;
         result.resumed_cells += out.resumed_cells;
+        result.timing.absorb(&out.timing);
         for cell in out.cells {
             let Some(slot) = slots.get_mut(cell.index) else {
                 return Err(format!(
@@ -630,12 +640,14 @@ mod tests {
         let err = merge_shards(vec![a.clone(), foreign]).unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
 
-        // The happy path.
+        // The happy path. Timing is canonicalized away: two runs never
+        // share wall clocks, but the simulated payloads must be
+        // bit-identical.
         let merged = merge_shards(vec![a, b]).unwrap();
         let full = Campaign::new(cfg).threads(1).run_speedups(&g);
         assert_eq!(
-            serde_json::to_string(&merged.cells).unwrap(),
-            serde_json::to_string(&full.cells).unwrap()
+            serde_json::to_string(&merged.canonical_cells()).unwrap(),
+            serde_json::to_string(&full.canonical_cells()).unwrap()
         );
     }
 

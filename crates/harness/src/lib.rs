@@ -39,6 +39,14 @@
 //!   completed cells; `Campaign::journal(path).resume(true)` restores
 //!   the completed prefix after an interruption and runs only the rest,
 //!   bit-identical to an uninterrupted campaign.
+//! * [`Telemetry`] ([`telemetry`]) + [`ProgressReporter`] ([`progress`])
+//!   — campaign observability: phase timers and per-cell wall times
+//!   under an injectable [`Clock`] (deterministic in tests via
+//!   [`MockClock`]), and rate-limited live progress streams
+//!   (human-readable or JSONL). Timing is observability, never
+//!   identity: it feeds no key or fingerprint, and byte-identity
+//!   checks compare [`CampaignResult::canonical_cells`] (timing
+//!   stripped).
 //!
 //! # Example
 //!
@@ -66,17 +74,21 @@ mod campaign;
 mod grid;
 pub mod journal;
 pub mod pool;
+pub mod progress;
 pub mod scheduler;
 pub mod sink;
 pub mod stats;
+pub mod telemetry;
 mod trace_store;
 
 pub use baseline::BaselineStore;
-pub use campaign::{Campaign, CampaignResult, CellResult, TracePolicy};
+pub use campaign::{Campaign, CampaignResult, CampaignSummary, CellResult, TracePolicy};
 pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
 pub use journal::{merge_shards, IndexedCell, Journal, ShardOutput};
+pub use progress::{CounterSnapshot, ProgressConfig, ProgressMode, ProgressReporter};
 pub use scheduler::{
     CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell, ShardSpec, ShardedExecutor,
     TaskPlan,
 };
+pub use telemetry::{CampaignTiming, Clock, MockClock, MonotonicClock, Phase, Telemetry};
 pub use trace_store::TraceStore;

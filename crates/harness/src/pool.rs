@@ -15,6 +15,9 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
+
+use crate::telemetry::fmt_ns;
 
 /// The default pool width: one worker per available hardware thread.
 pub fn default_threads() -> usize {
@@ -57,7 +60,10 @@ where
 ///
 /// A panic in `f` stops workers from claiming further items and is then
 /// re-raised on the calling thread as
-/// `"worker panicked running <label>: <payload>"`.
+/// `"worker panicked running <label> after <elapsed>: <payload>"` — the
+/// elapsed time distinguishes a cell that crashed instantly from one
+/// that churned for minutes first (hung-vs-crashed triage in long
+/// campaigns).
 pub fn parallel_map_observed<I, T, F>(
     items: &[I],
     threads: usize,
@@ -74,12 +80,13 @@ where
     if threads <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.iter().enumerate() {
+            let start = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| f(item))) {
                 Ok(v) => {
                     observe(i, &v);
                     out.push(v);
                 }
-                Err(payload) => relabel_panic(i, &label(item), payload),
+                Err(payload) => relabel_panic(i, &label(item), elapsed_ns(start), payload),
             }
         }
         return out;
@@ -90,11 +97,12 @@ where
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     // The first worker panic observed, by input index (ties broken by
-    // arrival; the index makes the error deterministic enough to act on).
-    let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    // arrival; the index makes the error deterministic enough to act on),
+    // with how long the item had been running when it died.
+    let mut panicked: Option<(usize, u64, Box<dyn std::any::Any + Send>)> = None;
 
     std::thread::scope(|scope| {
-        type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+        type Outcome<T> = Result<T, (u64, Box<dyn std::any::Any + Send>)>;
         let (tx, rx) = mpsc::channel::<(usize, Outcome<T>)>();
         let next_ref = &next;
         let abort_ref = &abort;
@@ -109,7 +117,9 @@ where
                 if i >= n {
                     break;
                 }
-                let out = catch_unwind(AssertUnwindSafe(|| f_ref(&items[i])));
+                let start = Instant::now();
+                let out = catch_unwind(AssertUnwindSafe(|| f_ref(&items[i])))
+                    .map_err(|payload| (elapsed_ns(start), payload));
                 if out.is_err() {
                     abort_ref.store(true, Ordering::Relaxed);
                 }
@@ -130,17 +140,17 @@ where
                     observe(i, &v);
                     slots[i] = Some(v);
                 }
-                Err(payload) => {
+                Err((ns, payload)) => {
                     if panicked.is_none() {
-                        panicked = Some((i, payload));
+                        panicked = Some((i, ns, payload));
                     }
                 }
             }
         }
     });
 
-    if let Some((i, payload)) = panicked {
-        relabel_panic(i, &label(&items[i]), payload);
+    if let Some((i, ns, payload)) = panicked {
+        relabel_panic(i, &label(&items[i]), ns, payload);
     }
     slots
         .into_iter()
@@ -148,14 +158,27 @@ where
         .collect()
 }
 
+/// Nanoseconds elapsed since `start`, saturated into `u64`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Re-raises a caught worker panic on the calling thread, prefixed with
-/// the failing item's identity.
-fn relabel_panic(index: usize, label: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
+/// the failing item's identity and how long it had been running — a
+/// crash after milliseconds and a crash after minutes of churn are
+/// different bugs.
+fn relabel_panic(
+    index: usize,
+    label: &str,
+    elapsed_ns: u64,
+    payload: Box<dyn std::any::Any + Send>,
+) -> ! {
     let what = if label.is_empty() {
         format!("item {index}")
     } else {
         format!("{label} (item {index})")
     };
+    let after = fmt_ns(elapsed_ns);
     let msg = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -163,10 +186,10 @@ fn relabel_panic(index: usize, label: &str, payload: Box<dyn std::any::Any + Sen
     } else {
         // Opaque payload: keep the original so a caller's downcast-based
         // handling still works.
-        eprintln!("[pool] worker panicked running {what} (non-string payload)");
+        eprintln!("[pool] worker panicked running {what} after {after} (non-string payload)");
         resume_unwind(payload);
     };
-    panic!("worker panicked running {what}: {msg}");
+    panic!("worker panicked running {what} after {after}: {msg}");
 }
 
 #[cfg(test)]
@@ -255,6 +278,10 @@ mod tests {
                 "panic must name the failing cell ({threads} threads): {msg}"
             );
             assert!(msg.contains("simulated cell failure"), "{msg}");
+            assert!(
+                msg.contains(" after "),
+                "panic must say how long the cell ran ({threads} threads): {msg}"
+            );
         }
     }
 

@@ -3,7 +3,9 @@
 
 use std::path::Path;
 
-use crate::campaign::CampaignResult;
+use serde::Serialize;
+
+use crate::campaign::{CampaignResult, CampaignSummary, CellResult};
 
 /// CSV header row produced by [`to_csv`].
 ///
@@ -17,12 +19,33 @@ pub const CSV_HEADER: &str = "workload,design,cache_bytes,seed,scenario,cores,pa
 way_policy,stacked_dram,offchip_dram,speedup,uipc,miss_ratio,\
 measured_accesses,instructions,elapsed_ps,offchip_bytes_per_ki,activations_per_ki";
 
-/// Renders the campaign as pretty JSON (full [`RunResult`]s plus
-/// baseline-memoization counters).
+/// The JSON sink's document shape: the counter-and-timing summary up
+/// front, then the cells with full [`RunResult`]s.
+///
+/// [`RunResult`]: unison_sim::RunResult
+#[derive(Debug, Clone, Serialize)]
+pub struct JsonDocument {
+    /// Counters and timing ([`CampaignResult::summary`]).
+    pub summary: CampaignSummary,
+    /// The executed cells, in grid order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Renders the campaign as pretty JSON: a `summary` block (memoization
+/// counters, per-phase timing, per-cell wall-time aggregates) followed
+/// by the cells with their full [`RunResult`]s.
+///
+/// The CSV sink deliberately carries **no** timing columns: CSV renders
+/// of a resumed or merged campaign must stay byte-identical to the
+/// uninterrupted run's (the CI smoke compares them with `cmp`).
 ///
 /// [`RunResult`]: unison_sim::RunResult
 pub fn to_json(results: &CampaignResult) -> String {
-    serde_json::to_string_pretty(results).expect("campaign results serialize")
+    let doc = JsonDocument {
+        summary: results.summary(),
+        cells: results.cells.clone(),
+    };
+    serde_json::to_string_pretty(&doc).expect("campaign results serialize")
 }
 
 /// Renders the campaign as a flat CSV of headline metrics, one row per
@@ -120,9 +143,22 @@ mod tests {
     fn json_contains_cells_and_counters() {
         let r = small_result();
         let json = to_json(&r);
+        assert!(json.contains("\"summary\""));
         assert!(json.contains("\"cells\""));
         assert!(json.contains("\"baseline_runs\""));
+        assert!(json.contains("\"trace_memo_hits\""));
+        assert!(json.contains("\"timing\""));
+        assert!(json.contains("\"cell_wall_ns_total\""));
         assert!(json.contains("\"Unison\""));
+    }
+
+    #[test]
+    fn csv_carries_no_timing_columns() {
+        // The CI smoke byte-compares resumed/merged CSVs against the
+        // uninterrupted run's; wall clocks never repeat, so timing must
+        // never leak into this sink.
+        assert!(!CSV_HEADER.contains("wall"));
+        assert!(!CSV_HEADER.contains("_ns"));
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Campaign telemetry: injectable clocks, phase timers, and counters.
+//!
+//! Everything the harness knows about *how long* work took flows through
+//! this module, so timing is measured exactly one way everywhere and is
+//! deterministic under test:
+//!
+//! * [`Clock`] — a monotonic nanosecond source. Production code uses
+//!   [`MonotonicClock`] (a `std::time::Instant` anchor); tests inject a
+//!   [`MockClock`] and advance it by hand, so timer assertions are exact
+//!   instead of sleep-and-hope.
+//! * [`Telemetry`] — per-phase wall-time accumulators for the three
+//!   campaign stages ([`Phase::TracePrefill`], [`Phase::Baseline`],
+//!   [`Phase::Cells`]), shared across the worker pool.
+//! * [`Counter`] — a relaxed atomic event counter for throughput-style
+//!   accounting (cells completed, progress emissions).
+//! * [`CampaignTiming`] — the serializable per-phase summary that rides
+//!   on `ShardOutput`/`CampaignResult` and lands in the JSON sink.
+//!
+//! Timing is **observability, not identity**: nothing here feeds the
+//! plan fingerprint, cell keys, or simulation results. Byte-identity
+//! comparisons (shard merge, journal resume, CI) canonicalize timing
+//! away first — see `CampaignResult::canonicalized`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonic nanosecond clock. Implementations must never go
+/// backwards between calls on the same instance.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's arbitrary (but fixed) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since the instant the clock was
+/// created, via `std::time::Instant` (monotonic by contract).
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock anchored at "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds covers ~584 years of campaign; the cast is safe
+        // for any real run.
+        self.anchor.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: `now_ns` returns
+/// whatever the test last [`MockClock::advance`]d or [`MockClock::set`]
+/// it to. Shared freely across threads (atomic).
+#[derive(Debug, Default)]
+pub struct MockClock {
+    ns: AtomicU64,
+}
+
+impl MockClock {
+    /// Creates a mock clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        MockClock {
+            ns: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Moves the clock forward by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ns` would move the clock backwards — a mock that
+    /// violates monotonicity would vacuously pass the very tests it
+    /// exists to make exact.
+    pub fn set(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::Relaxed);
+        assert!(
+            ns >= prev,
+            "MockClock::set({ns}) would run time backwards from {prev}"
+        );
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The campaign stages [`Telemetry`] accounts separately. Stage wall
+/// times are what the ROADMAP's adaptive-sharding work consumes: cells
+/// record their own per-cell `wall_ns`, and the phase totals bound how
+/// much of a campaign the dependency stages (not the cells) cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Freezing shared trace artifacts before cells run.
+    TracePrefill,
+    /// Simulating memoized NoCache baselines before cells run.
+    Baseline,
+    /// Executing the planned cells on the worker pool.
+    Cells,
+}
+
+impl Phase {
+    /// Every phase, in campaign execution order.
+    pub const ALL: [Phase; 3] = [Phase::TracePrefill, Phase::Baseline, Phase::Cells];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::TracePrefill => "trace-prefill",
+            Phase::Baseline => "baseline",
+            Phase::Cells => "cells",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::TracePrefill => 0,
+            Phase::Baseline => 1,
+            Phase::Cells => 2,
+        }
+    }
+}
+
+/// Shared campaign telemetry: one injectable clock plus per-phase
+/// accumulated wall time. Cheap to clone handles of (`Arc` the clock),
+/// safe to read from any thread.
+#[derive(Debug)]
+pub struct Telemetry {
+    clock: Arc<dyn Clock>,
+    phase_ns: [AtomicU64; 3],
+}
+
+impl Telemetry {
+    /// Creates telemetry reading `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Telemetry {
+            clock,
+            phase_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    /// The clock this telemetry samples.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current clock reading.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Runs `f`, charging its wall time to `phase`.
+    pub fn time_phase<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let (value, elapsed) = self.time(f);
+        self.phase_ns[phase.index()].fetch_add(elapsed, Ordering::Relaxed);
+        value
+    }
+
+    /// Runs `f` and returns its result alongside its wall time in
+    /// nanoseconds (charged to no phase).
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = self.clock.now_ns();
+        let value = f();
+        (value, self.clock.now_ns().saturating_sub(start))
+    }
+
+    /// Accumulated wall time of `phase`.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sum of all phase times.
+    pub fn total_ns(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.phase_ns(p)).sum()
+    }
+
+    /// Snapshot of the accumulated phase times as the serializable
+    /// summary record.
+    pub fn timing(&self) -> CampaignTiming {
+        CampaignTiming {
+            trace_prefill_ns: self.phase_ns(Phase::TracePrefill),
+            baseline_ns: self.phase_ns(Phase::Baseline),
+            cells_ns: self.phase_ns(Phase::Cells),
+            total_ns: self.total_ns(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(Arc::new(MonotonicClock::new()))
+    }
+}
+
+/// Per-phase wall-time summary of one campaign (or one shard of one):
+/// the timing block `ShardOutput` and `CampaignResult` carry and the
+/// JSON sink renders. Merging shards sums the blocks — the result is
+/// aggregate compute time across workers, not elapsed wall time on any
+/// one machine.
+///
+/// All zeros means "not measured" (e.g. a hand-built fixture) and is
+/// also the canonical form byte-identity comparisons reduce to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CampaignTiming {
+    /// Wall time freezing shared trace artifacts.
+    pub trace_prefill_ns: u64,
+    /// Wall time prefilling memoized NoCache baselines.
+    pub baseline_ns: u64,
+    /// Wall time executing cells (the pool's elapsed time, not the sum
+    /// of per-cell times — with N workers this is roughly that sum / N).
+    pub cells_ns: u64,
+    /// Sum of the three phases.
+    pub total_ns: u64,
+}
+
+impl CampaignTiming {
+    /// Accumulates another timing block (shard merge).
+    pub fn absorb(&mut self, other: &CampaignTiming) {
+        self.trace_prefill_ns += other.trace_prefill_ns;
+        self.baseline_ns += other.baseline_ns;
+        self.cells_ns += other.cells_ns;
+        self.total_ns += other.total_ns;
+    }
+
+    /// True when nothing was measured — the canonical/fixture form.
+    pub fn is_zero(&self) -> bool {
+        *self == CampaignTiming::default()
+    }
+}
+
+/// Renders nanoseconds human-readably (`412ns`, `3.2µs`, `18.4ms`,
+/// `7.25s`, `3m12s`) for progress lines and footers.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        1_000_000_000..=59_999_999_999 => format!("{:.2}s", ns as f64 / 1e9),
+        _ => {
+            let secs = ns / 1_000_000_000;
+            format!("{}m{:02}s", secs / 60, secs % 60)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances_and_rejects_time_travel() {
+        let c = MockClock::new(100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        c.set(150); // equal is fine
+        let err = std::panic::catch_unwind(|| c.set(10));
+        assert!(err.is_err(), "moving a mock clock backwards must panic");
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let mut prev = c.now_ns();
+        for _ in 0..1000 {
+            let now = c.now_ns();
+            assert!(now >= prev, "monotonic clock went backwards");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn timers_are_exact_under_a_mock_clock() {
+        let clock = Arc::new(MockClock::new(0));
+        let t = Telemetry::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let (v, ns) = t.time(|| {
+            clock.advance(250);
+            7
+        });
+        assert_eq!((v, ns), (7, 250));
+        t.time_phase(Phase::TracePrefill, || clock.advance(1_000));
+        t.time_phase(Phase::Baseline, || clock.advance(2_000));
+        t.time_phase(Phase::Cells, || clock.advance(4_000));
+        t.time_phase(Phase::Cells, || clock.advance(8_000));
+        assert_eq!(t.phase_ns(Phase::TracePrefill), 1_000);
+        assert_eq!(t.phase_ns(Phase::Baseline), 2_000);
+        assert_eq!(t.phase_ns(Phase::Cells), 12_000);
+    }
+
+    #[test]
+    fn phase_sums_equal_total() {
+        let clock = Arc::new(MockClock::new(5));
+        let t = Telemetry::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        for (i, &p) in Phase::ALL.iter().enumerate() {
+            t.time_phase(p, || clock.advance(100 * (i as u64 + 1)));
+        }
+        assert_eq!(t.total_ns(), 100 + 200 + 300);
+        let timing = t.timing();
+        assert_eq!(
+            timing.trace_prefill_ns + timing.baseline_ns + timing.cells_ns,
+            timing.total_ns,
+            "per-phase sums must equal the recorded total"
+        );
+        assert!(!timing.is_zero());
+    }
+
+    #[test]
+    fn timing_absorb_sums_fields() {
+        let mut a = CampaignTiming {
+            trace_prefill_ns: 1,
+            baseline_ns: 2,
+            cells_ns: 3,
+            total_ns: 6,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(
+            a,
+            CampaignTiming {
+                trace_prefill_ns: 2,
+                baseline_ns: 4,
+                cells_ns: 6,
+                total_ns: 12,
+            }
+        );
+        assert!(CampaignTiming::default().is_zero());
+    }
+
+    #[test]
+    fn timing_serializes_round_trip() {
+        let t = CampaignTiming {
+            trace_prefill_ns: 10,
+            baseline_ns: 20,
+            cells_ns: 30,
+            total_ns: 60,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: CampaignTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(412), "412ns");
+        assert_eq!(fmt_ns(3_200), "3.2µs");
+        assert_eq!(fmt_ns(18_400_000), "18.4ms");
+        assert_eq!(fmt_ns(7_250_000_000), "7.25s");
+        assert_eq!(fmt_ns(192_000_000_000), "3m12s");
+    }
+
+    #[test]
+    fn mock_clock_is_shareable_across_threads() {
+        let clock = Arc::new(MockClock::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&clock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now_ns(), 4000);
+    }
+}

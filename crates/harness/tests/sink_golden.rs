@@ -8,7 +8,7 @@
 
 use unison_core::CacheStats;
 use unison_dram::{DramPreset, DramStats, EnergyCounters};
-use unison_harness::{sink, CampaignResult, CellResult};
+use unison_harness::{sink, CampaignResult, CampaignTiming, CellResult};
 use unison_sim::{RunResult, SystemSpec};
 
 fn run(design: &str, workload: &str, cache_bytes: u64, uipc: f64) -> RunResult {
@@ -80,6 +80,7 @@ fn fixture() -> CampaignResult {
                 seed: 42,
                 speedup: Some(1.234567),
                 run: run("Unison", "Web Search", 512 << 20, 1.5),
+                wall_ns: 250_000_000,
             },
             CellResult {
                 scenario: "c4+ddr4-2400".to_string(),
@@ -88,6 +89,7 @@ fn fixture() -> CampaignResult {
                 seed: 7,
                 speedup: None,
                 run: run("Alloy", "He said \"16GB, please\"", 1 << 30, 0.75),
+                wall_ns: 750_000_000,
             },
         ],
         baseline_runs: 1,
@@ -96,6 +98,12 @@ fn fixture() -> CampaignResult {
         trace_memo_hits: 3,
         trace_disk_hits: 0,
         resumed_cells: 0,
+        timing: CampaignTiming {
+            trace_prefill_ns: 100_000_000,
+            baseline_ns: 400_000_000,
+            cells_ns: 1_000_000_000,
+            total_ns: 1_500_000_000,
+        },
     }
 }
 

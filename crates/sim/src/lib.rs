@@ -42,9 +42,10 @@ mod system;
 pub use core_model::CoreParams;
 pub use metrics::RunResult;
 pub use runner::{
-    replay_lookahead, run_baseline, run_experiment, run_experiment_with_source, run_speedup,
-    run_speedup_with_baseline, run_speedup_with_baseline_source, Design, SimConfig, SpeedupResult,
-    TracePlan, TraceSource,
+    replay_lookahead, run_baseline, run_experiment, run_experiment_timed_with_source,
+    run_experiment_with_source, run_speedup, run_speedup_with_baseline,
+    run_speedup_with_baseline_source, Design, SimConfig, SpeedupResult, Timed, TracePlan,
+    TraceSource,
 };
 pub use scenario::{scenarios_from_json, Scenario, SystemSpec};
 pub use system::System;

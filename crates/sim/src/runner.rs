@@ -533,6 +533,41 @@ fn drive_cache<C: DramCacheModel, I: Iterator<Item = TraceRecord>>(
     }
 }
 
+/// A value paired with the wall time producing it took, in nanoseconds.
+///
+/// The run-level timing hook: callers that account simulation cost
+/// (campaign telemetry, `bench-report`) get the measurement taken
+/// immediately around the simulation itself, under whatever clock they
+/// inject — timing never enters [`RunResult`], whose serialized form is
+/// pinned by golden fixtures and bit-identity guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timed<T> {
+    /// The computed value.
+    pub value: T,
+    /// Wall time spent computing it.
+    pub wall_ns: u64,
+}
+
+/// [`run_experiment_with_source`] timed under an injected clock:
+/// `now_ns` is sampled immediately before and after the simulation
+/// (any monotonic nanosecond source — the harness passes its campaign
+/// clock, tests a deterministic counter).
+pub fn run_experiment_timed_with_source(
+    design: Design,
+    cache_bytes: u64,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    source: TraceSource<'_>,
+    now_ns: &dyn Fn() -> u64,
+) -> Timed<RunResult> {
+    let start = now_ns();
+    let value = run_experiment_with_source(design, cache_bytes, spec, cfg, source);
+    Timed {
+        value,
+        wall_ns: now_ns().saturating_sub(start),
+    }
+}
+
 /// A design's result paired with its speedup over the no-cache baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpeedupResult {
@@ -643,6 +678,36 @@ mod tests {
         assert_eq!(Design::from_name("UNISON"), Some(Design::Unison));
         assert_eq!(Design::from_name("bogus"), None);
         assert_eq!(Design::from_name("unison-0way"), None, "0 ways is invalid");
+    }
+
+    #[test]
+    fn timed_run_measures_under_the_injected_clock_without_changing_results() {
+        use std::cell::Cell;
+        let cfg = SimConfig::quick_test();
+        let spec = workloads::web_search();
+        // A deterministic clock: each sample advances 1 ms.
+        let ticks = Cell::new(0u64);
+        let now = || {
+            let t = ticks.get();
+            ticks.set(t + 1_000_000);
+            t
+        };
+        let timed = run_experiment_timed_with_source(
+            Design::Ideal,
+            256 << 20,
+            &spec,
+            &cfg,
+            TraceSource::Live,
+            &now,
+        );
+        assert_eq!(timed.wall_ns, 1_000_000, "exactly two clock samples");
+        let plain =
+            run_experiment_with_source(Design::Ideal, 256 << 20, &spec, &cfg, TraceSource::Live);
+        assert_eq!(
+            serde_json::to_string(&timed.value).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "timing must never perturb the simulation result"
+        );
     }
 
     #[test]

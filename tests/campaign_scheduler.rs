@@ -4,6 +4,12 @@
 //! be **bit-identical** to an uninterrupted one. Both properties go
 //! through the real serialization path (JSON files on disk), so the
 //! serde round-trip of `CellResult` is pinned too.
+//!
+//! Cells carry per-cell `wall_ns` telemetry, which is observability —
+//! never identity: two runs of the same plan read different clocks, so
+//! every byte-compare here serializes `CampaignResult::canonical_cells`
+//! (timing stripped). That the timing is *present* in journals and
+//! results is pinned separately.
 
 use std::path::PathBuf;
 
@@ -85,9 +91,20 @@ fn two_shards_merged_are_bit_identical_to_the_unsharded_run() {
     let merged = merge_shards(outputs).expect("complete partition merges");
 
     assert_eq!(
-        serde_json::to_string(&merged.cells).unwrap(),
-        serde_json::to_string(&unsharded.cells).unwrap(),
+        serde_json::to_string(&merged.canonical_cells()).unwrap(),
+        serde_json::to_string(&unsharded.canonical_cells()).unwrap(),
         "merged shard campaign diverged from the single-process run"
+    );
+    // Timing rides along without perturbing identity: the executed
+    // cells carry real wall times and the merged timing block sums the
+    // shards' phases.
+    assert!(
+        merged.cells.iter().all(|c| c.wall_ns > 0),
+        "merged cells must keep their per-cell wall times"
+    );
+    assert!(
+        merged.timing.cells_ns > 0,
+        "shard timing must survive merge"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -111,14 +128,18 @@ fn resume_after_kill_is_bit_identical_to_an_uninterrupted_run() {
         .journal(&path)
         .run_speedups(&g);
     assert_eq!(
-        serde_json::to_string(&first.cells).unwrap(),
-        serde_json::to_string(&uninterrupted.cells).unwrap(),
+        serde_json::to_string(&first.canonical_cells()).unwrap(),
+        serde_json::to_string(&uninterrupted.canonical_cells()).unwrap(),
         "journaling must not change results"
     );
 
     // ...then "killed": keep the header, three completed entries, and a
     // torn partial line (the append a kill interrupted).
     let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains("\"wall_ns\""),
+        "journal entries must record per-cell wall time"
+    );
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 1 + 8, "header + one line per cell");
     let torn = format!(
@@ -141,8 +162,8 @@ fn resume_after_kill_is_bit_identical_to_an_uninterrupted_run() {
         "three journaled cells restored, the torn one re-run"
     );
     assert_eq!(
-        serde_json::to_string(&resumed.cells).unwrap(),
-        serde_json::to_string(&uninterrupted.cells).unwrap(),
+        serde_json::to_string(&resumed.canonical_cells()).unwrap(),
+        serde_json::to_string(&uninterrupted.canonical_cells()).unwrap(),
         "resumed campaign diverged from the uninterrupted run"
     );
 
@@ -156,9 +177,12 @@ fn resume_after_kill_is_bit_identical_to_an_uninterrupted_run() {
     assert_eq!(rerun.resumed_cells, 8);
     assert_eq!(rerun.baseline_runs, 0, "nothing left to simulate");
     assert_eq!(
-        serde_json::to_string(&rerun.cells).unwrap(),
-        serde_json::to_string(&uninterrupted.cells).unwrap()
+        serde_json::to_string(&rerun.canonical_cells()).unwrap(),
+        serde_json::to_string(&uninterrupted.canonical_cells()).unwrap()
     );
+    // The restored cells are the journaled bytes: each still carries the
+    // wall time the original run recorded.
+    assert!(rerun.cells.iter().all(|c| c.wall_ns > 0));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

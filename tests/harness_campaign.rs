@@ -30,8 +30,8 @@ fn parallel_campaign_is_byte_identical_to_serial() {
     // Byte-identical RunResults in identical (grid) order, regardless of
     // worker scheduling: simulations are deterministic in (cell, cfg) and
     // the pool reassembles results by cell index.
-    let a = serde_json::to_string(&serial.cells).expect("serialize");
-    let b = serde_json::to_string(&parallel.cells).expect("serialize");
+    let a = serde_json::to_string(&serial.canonical_cells()).expect("serialize");
+    let b = serde_json::to_string(&parallel.canonical_cells()).expect("serialize");
     assert_eq!(a, b, "parallel campaign diverged from serial");
 }
 

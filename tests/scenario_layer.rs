@@ -351,8 +351,8 @@ fn scenario_campaigns_are_deterministic_across_thread_counts() {
     let serial = Campaign::new(cfg).threads(1).run_speedups(&grid);
     let parallel = Campaign::new(cfg).threads(4).run_speedups(&grid);
     assert_eq!(
-        serde_json::to_string(&serial.cells).unwrap(),
-        serde_json::to_string(&parallel.cells).unwrap(),
+        serde_json::to_string(&serial.canonical_cells()).unwrap(),
+        serde_json::to_string(&parallel.canonical_cells()).unwrap(),
         "scenario campaigns must stay deterministic under parallelism"
     );
 }

@@ -138,8 +138,8 @@ fn memoized_campaign_equals_regenerating_campaign() {
         .run_speedups(&grid);
 
     assert_eq!(
-        serde_json::to_string(&regenerated.cells).unwrap(),
-        serde_json::to_string(&memoized.cells).unwrap(),
+        serde_json::to_string(&regenerated.canonical_cells()).unwrap(),
+        serde_json::to_string(&memoized.canonical_cells()).unwrap(),
         "trace-memoized campaign diverged from per-cell regeneration"
     );
     assert_eq!(memoized.trace_generated, 2, "one artifact per workload");
@@ -246,8 +246,8 @@ fn disk_cache_skips_generation_on_reuse() {
     assert_eq!(warm.trace_generated, 0, "warm run must not regenerate");
     assert_eq!(warm.trace_disk_hits, 1);
     assert_eq!(
-        serde_json::to_string(&cold.cells).unwrap(),
-        serde_json::to_string(&warm.cells).unwrap()
+        serde_json::to_string(&cold.canonical_cells()).unwrap(),
+        serde_json::to_string(&warm.canonical_cells()).unwrap()
     );
 
     // And a TraceStore can read what the campaign persisted.
