@@ -139,6 +139,90 @@ fn bench_meta(c: &mut Criterion) {
     g.finish();
 }
 
+/// A [`MetaStore`] with every way of every set installed — the
+/// steady-state geometry the SIMD kernels scan.
+fn filled_store(sets: u64, ways: u32) -> MetaStore {
+    let mut store = MetaStore::paged(sets, ways, Replacement::AgingLru);
+    for set in 0..sets {
+        for w in 0..ways {
+            store.install(
+                set,
+                w,
+                PageMeta {
+                    tag: u64::from(w) * 3 + (set % 5),
+                    present: 0x7ff,
+                    ..PageMeta::default()
+                },
+            );
+            store.touch(set, w, 0);
+        }
+    }
+    store
+}
+
+/// The vectorized (lane-parallel SWAR) metadata kernels against their
+/// retained scalar references, at the paper-default 4-way geometry and
+/// a wide 32-way one where lane parallelism matters most. The scalar
+/// lines are the pre-vectorization loops kept as `*_scalar`; the
+/// equivalence suite's nightly ratio assertion
+/// (`vectorized_probe_beats_scalar_reference`) pins the win.
+fn bench_meta_simd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meta_simd");
+    g.throughput(Throughput::Elements(1));
+    for (ways, sets) in [(META_WAYS, META_SETS), (32u32, 1u64 << 14)] {
+        let walk = move |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % sets;
+        g.bench_function(&format!("probe_vectorized_{ways}way"), |b| {
+            let store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.probe_set(walk(i), i % 64))
+            });
+        });
+        g.bench_function(&format!("probe_scalar_{ways}way"), |b| {
+            let store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.probe_set_scalar(walk(i), i % 64))
+            });
+        });
+        g.bench_function(&format!("touch_vectorized_{ways}way"), |b| {
+            let mut store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                store.touch(walk(i), (i % u64::from(ways)) as u32, 0);
+            });
+        });
+        g.bench_function(&format!("touch_scalar_{ways}way"), |b| {
+            let mut store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                store.touch_scalar(walk(i), (i % u64::from(ways)) as u32, 0);
+            });
+        });
+        g.bench_function(&format!("victim_vectorized_{ways}way"), |b| {
+            let store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.evict_victim(walk(i)))
+            });
+        });
+        g.bench_function(&format!("victim_scalar_{ways}way"), |b| {
+            let store = filled_store(sets, ways);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(store.evict_victim_scalar(walk(i)))
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_dram(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram");
     g.throughput(Throughput::Elements(1));
@@ -243,6 +327,6 @@ fn bench_tracegen(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_meta, bench_predictors, bench_dram, bench_caches, bench_tracegen
+    targets = bench_meta, bench_meta_simd, bench_predictors, bench_dram, bench_caches, bench_tracegen
 }
 criterion_main!(benches);

@@ -35,6 +35,19 @@
 
 use unison_predictors::{EvictionInfo, Footprint};
 
+/// Lane width of the vectorized set walks: the branchless per-way loops
+/// in [`MetaStore::probe_set`], [`MetaStore::touch`], and
+/// [`MetaStore::evict_victim`] are shaped so LLVM's autovectorizer
+/// unrolls them into `LANES`-wide blocks on stable Rust (no `std::simd`
+/// required) — eight `u64` tags span two AVX2 registers (one AVX-512
+/// register). The workspace targets `x86-64-v3` (see
+/// `.cargo/config.toml`) because the x86-64 baseline lacks the 64-bit
+/// lane compare (`vpcmpeqq`) and per-lane shift (`vpsllvq`) the probe
+/// mask build lowers to. Associativities that are not a multiple of the
+/// lane width take a scalar epilogue with identical semantics, which
+/// the property tests cover explicitly.
+pub const LANES: usize = 8;
+
 /// Which replacement discipline [`MetaStore::touch`] and
 /// [`MetaStore::evict_victim`] implement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,11 +237,37 @@ impl MetaStore {
         }
     }
 
-    /// Probes the set for `tag`: one walk over the contiguous tag slice,
-    /// gated by the set's packed valid bits. Returns the first (lowest)
-    /// matching valid way, like the pre-SoA `(0..assoc).find(..)` scan.
+    /// Probes the set for `tag`: one vectorized walk over the contiguous
+    /// tag slice, gated by the set's packed valid bits. Returns the first
+    /// (lowest) matching valid way, like the pre-SoA `(0..assoc).find(..)`
+    /// scan.
+    ///
+    /// The walk builds an equality bitmask in one branchless pass (each
+    /// way contributes `u64::from(t == tag) << way`, which LLVM lowers
+    /// to [`LANES`]-wide compare + variable-shift vector ops), masks it
+    /// with the valid bits, and takes `trailing_zeros` — so "first
+    /// matching valid way" falls out of bit order rather than an
+    /// early-exit branch per way. Bit-identical to
+    /// [`MetaStore::probe_set_scalar`] (property-raced).
     #[inline]
     pub fn probe_set(&self, set: u64, tag: u64) -> Option<u32> {
+        let base = self.base(set);
+        let vbits = self.valid_mask(set);
+        let tags = &self.tags[base..base + self.ways as usize];
+        let mut eq = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            eq |= u64::from(t == tag) << w;
+        }
+        let hit = eq & vbits;
+        (hit != 0).then(|| hit.trailing_zeros())
+    }
+
+    /// The pre-vectorization probe: an early-exit scalar walk. Kept as
+    /// the executable reference the property tests race against
+    /// [`MetaStore::probe_set`] and the nightly release-mode assertion
+    /// measures the vectorized path's speedup over.
+    #[inline]
+    pub fn probe_set_scalar(&self, set: u64, tag: u64) -> Option<u32> {
         let base = self.base(set);
         let vbits = self.valid_mask(set);
         let tags = &self.tags[base..base + self.ways as usize];
@@ -243,8 +282,37 @@ impl MetaStore {
     /// Records a use of `(set, way)` under the store's replacement
     /// policy. `clock` is consumed by [`Replacement::TimestampLru`] and
     /// ignored by [`Replacement::AgingLru`].
+    ///
+    /// The AgingLru batch age is vectorized: one branchless
+    /// saturating-increment sweep over the whole stamp slice (which LLVM
+    /// turns into wide `min` lanes), then a single store of 0 to the
+    /// touched way — the same result as the old per-way
+    /// `if w == way { 0 } else { .. }` branch, since the touched way's
+    /// incremented value is overwritten unconditionally. Bit-identical to
+    /// [`MetaStore::touch_scalar`] (property-raced).
     #[inline]
     pub fn touch(&mut self, set: u64, way: u32, clock: u32) {
+        debug_assert!(way < self.ways);
+        let base = self.base(set);
+        match self.policy {
+            Replacement::AgingLru => {
+                let stamps = &mut self.stamp[base..base + self.ways as usize];
+                for s in stamps.iter_mut() {
+                    *s = (*s + 1).min(255);
+                }
+                stamps[way as usize] = 0;
+            }
+            Replacement::TimestampLru => {
+                self.stamp[base + way as usize] = clock;
+            }
+        }
+    }
+
+    /// The pre-vectorization recency update: the branchy per-way walk.
+    /// Kept as the executable reference the property tests race against
+    /// [`MetaStore::touch`].
+    #[inline]
+    pub fn touch_scalar(&mut self, set: u64, way: u32, clock: u32) {
         debug_assert!(way < self.ways);
         let base = self.base(set);
         match self.policy {
@@ -264,10 +332,53 @@ impl MetaStore {
         }
     }
 
-    /// Picks the way to evict: the first invalid way if any, otherwise
-    /// the policy's LRU choice (see [`Replacement`] for tie-breaking).
+    /// Picks the way to evict: the first invalid way if any (claimed via
+    /// `trailing_zeros` of the inverted valid mask), otherwise the
+    /// policy's LRU choice (see [`Replacement`] for tie-breaking).
+    ///
+    /// The full-set scan is a vectorized masked min/max over **packed
+    /// keys** `(stamp << 6) | way` (way fits in 6 bits because ways ≤ 64,
+    /// stamp is ≤ 32 bits, so keys are ≤ 38 bits — no overflow). A plain
+    /// `max` reduce over packed keys breaks stamp ties toward the
+    /// *highest* way and a `min` reduce toward the *lowest*, which are
+    /// exactly AgingLru's `max_by_key` and TimestampLru's `min_by_key`
+    /// tie rules — so the whole scan is one branchless reduce LLVM
+    /// vectorizes. Bit-identical to [`MetaStore::evict_victim_scalar`]
+    /// (property-raced).
     #[inline]
     pub fn evict_victim(&self, set: u64) -> u32 {
+        let vbits = self.valid_mask(set);
+        let invalid = !vbits & Self::ways_mask(self.ways as usize);
+        if invalid != 0 {
+            return invalid.trailing_zeros();
+        }
+        let base = self.base(set);
+        let stamps = &self.stamp[base..base + self.ways as usize];
+        match self.policy {
+            Replacement::AgingLru => {
+                // Oldest = largest age; ties to the highest index.
+                let mut best = 0u64;
+                for (w, &s) in stamps.iter().enumerate() {
+                    best = best.max(u64::from(s) << 6 | w as u64);
+                }
+                (best & 63) as u32
+            }
+            Replacement::TimestampLru => {
+                // Oldest = smallest timestamp; ties to the lowest index.
+                let mut best = u64::MAX;
+                for (w, &s) in stamps.iter().enumerate() {
+                    best = best.min(u64::from(s) << 6 | w as u64);
+                }
+                (best & 63) as u32
+            }
+        }
+    }
+
+    /// The pre-vectorization victim scan: the branchy best-so-far walk.
+    /// Kept as the executable reference the property tests race against
+    /// [`MetaStore::evict_victim`].
+    #[inline]
+    pub fn evict_victim_scalar(&self, set: u64) -> u32 {
         let vbits = self.valid_mask(set);
         let invalid = !vbits & Self::ways_mask(self.ways as usize);
         if invalid != 0 {

@@ -16,6 +16,7 @@
 
 use proptest::prelude::*;
 use unison_core::meta::reference::NaiveStore;
+use unison_core::meta::LANES;
 use unison_core::{MetaStore, PageMeta, Replacement};
 
 // 24 sets: with 3 ways the store holds 72 entries, so high sets' valid
@@ -164,6 +165,110 @@ fn check_invariants(soa: &MetaStore, naive: &NaiveStore, policy: Replacement) {
     }
 }
 
+/// Applies one op to three stores at once — the vectorized [`MetaStore`]
+/// paths, a second `MetaStore` driven exclusively through the retained
+/// `*_scalar` reference loops, and the [`NaiveStore`] — asserting the
+/// triangle agrees at every decision point. `clock` is supplied by the
+/// caller and may repeat, so timestamp-LRU stamp ties occur on real
+/// streams (not just hand-built states).
+fn step_raced(
+    soa: &mut MetaStore,
+    scalar: &mut MetaStore,
+    naive: &mut NaiveStore,
+    op: Op,
+    clock: u32,
+) {
+    let (sel, set_raw, tag_raw, bits_raw, pc_seed) = op;
+    let set = set_raw % SETS;
+    let tag = tag_raw % 16;
+    let ways = soa.ways();
+    match sel % 3 {
+        // Probe + hit path: mask updates and a recency touch.
+        0 => {
+            let found = soa.probe_set(set, tag);
+            assert_eq!(
+                found,
+                soa.probe_set_scalar(set, tag),
+                "vectorized probe diverged from the scalar loop"
+            );
+            assert_eq!(found, scalar.probe_set_scalar(set, tag));
+            assert_eq!(found, naive.probe_set(set, tag));
+            if let Some(w) = found {
+                let bits = bits_raw & soa.load(set, w).present;
+                soa.or_demanded(set, w, bits);
+                scalar.or_demanded(set, w, bits);
+                naive.or_demanded(set, w, bits);
+                soa.touch(set, w, clock);
+                scalar.touch_scalar(set, w, clock);
+                naive.touch(set, w, clock);
+                assert_eq!(
+                    soa.stamps(set),
+                    scalar.stamps(set),
+                    "vectorized touch diverged from the scalar loop"
+                );
+                assert_eq!(soa.stamps(set), naive.stamps(set).as_slice());
+            }
+        }
+        // Miss path: victim selection, eviction, install, touch.
+        1 => {
+            if soa.probe_set(set, tag).is_some() {
+                return;
+            }
+            let victim = soa.evict_victim(set);
+            assert_eq!(
+                victim,
+                soa.evict_victim_scalar(set),
+                "vectorized victim diverged from the scalar loop"
+            );
+            assert_eq!(victim, scalar.evict_victim_scalar(set));
+            assert_eq!(victim, naive.evict_victim(set));
+            if soa.is_valid(set, victim) {
+                soa.invalidate(set, victim);
+                scalar.invalidate(set, victim);
+                naive.invalidate(set, victim);
+            }
+            let meta = PageMeta {
+                tag,
+                present: (bits_raw & 0x7fff_ffff) | 1,
+                demanded: 1,
+                dirty: 0,
+                predicted: (bits_raw & 0x7fff_ffff) | 1,
+                pc: u64::from(pc_seed),
+                offset: (bits_raw % 31) as u8,
+            };
+            soa.install(set, victim, meta);
+            scalar.install(set, victim, meta);
+            naive.install(set, victim, meta);
+            soa.touch(set, victim, clock);
+            scalar.touch_scalar(set, victim, clock);
+            naive.touch(set, victim, clock);
+        }
+        // A pure recency touch of an arbitrary way.
+        _ => {
+            let w = bits_raw % ways;
+            soa.touch(set, w, clock);
+            scalar.touch_scalar(set, w, clock);
+            naive.touch(set, w, clock);
+            assert_eq!(soa.stamps(set), scalar.stamps(set));
+            assert_eq!(soa.stamps(set), naive.stamps(set).as_slice());
+        }
+    }
+}
+
+/// Associativities the vectorized-vs-scalar races sweep: below the lane
+/// width, exactly one lane chunk, chunk + remainder (not a multiple of
+/// [`LANES`]), several chunks, and the 64-way ceiling.
+const RACE_WAYS: [u32; 8] = [
+    1,
+    3,
+    LANES as u32 - 1,
+    LANES as u32,
+    LANES as u32 + 3,
+    17,
+    32,
+    64,
+];
+
 proptest! {
     /// Arbitrary op streams keep the SoA store and the nested-Vec
     /// reference in lock-step under both replacement policies.
@@ -265,5 +370,106 @@ proptest! {
         prop_assert_eq!(info.dirty.mask(), u64::from(dirty) & page_mask);
         prop_assert_eq!(info.pc, pc);
         prop_assert_eq!(info.offset, offset);
+    }
+
+    /// The vectorized probe/touch/victim walks are bit-identical to the
+    /// retained scalar reference loops *and* the naive store on arbitrary
+    /// op streams, across associativities below, at, and beyond the lane
+    /// width — including widths that are not a multiple of [`LANES`]
+    /// (remainder-chunk handling). The clock deliberately repeats every
+    /// third step, so timestamp-LRU tie-breaks are exercised on live
+    /// streams, and aging-LRU all-equal stamps (fresh installs) exercise
+    /// the max-reduce tie rule.
+    #[test]
+    fn vectorized_walks_match_scalar_and_naive(
+        aging in any::<bool>(),
+        ways_idx in 0usize..RACE_WAYS.len(),
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..64, 0u64..64, any::<u32>(), any::<u32>()),
+            1..250,
+        )
+    ) {
+        let policy = policy_of(aging);
+        let ways = RACE_WAYS[ways_idx];
+        let mut soa = MetaStore::paged(SETS, ways, policy);
+        let mut scalar = MetaStore::paged(SETS, ways, policy);
+        let mut naive = NaiveStore::paged(SETS, ways, policy);
+        for (i, op) in ops.into_iter().enumerate() {
+            step_raced(&mut soa, &mut scalar, &mut naive, op, i as u32 / 3 + 1);
+        }
+        for set in 0..SETS {
+            prop_assert_eq!(soa.stamps(set), scalar.stamps(set));
+            prop_assert_eq!(soa.evict_victim(set), soa.evict_victim_scalar(set));
+            prop_assert_eq!(soa.evict_victim(set), naive.evict_victim(set));
+        }
+    }
+}
+
+/// Deterministic tie-break sweep: full sets with hand-built stamp
+/// patterns full of duplicates, across every raced associativity. Aging
+/// LRU must resolve equal-max stamps to the *highest* way and timestamp
+/// LRU equal-min stamps to the *lowest* — vectorized, scalar, and naive
+/// all agreeing — including the all-equal pattern (every way tied).
+#[test]
+fn victim_tie_breaks_match_across_widths() {
+    for &ways in &RACE_WAYS {
+        for aging in [true, false] {
+            let policy = policy_of(aging);
+            let mut soa = MetaStore::paged(2, ways, policy);
+            let mut naive = NaiveStore::paged(2, ways, policy);
+            for w in 0..ways {
+                let meta = PageMeta {
+                    tag: u64::from(w),
+                    ..PageMeta::default()
+                };
+                soa.install(0, w, meta);
+                naive.install(0, w, meta);
+            }
+            // All stamps equal (zero) right after install: the whole set
+            // is one big tie.
+            let all_tied = soa.evict_victim(0);
+            assert_eq!(all_tied, soa.evict_victim_scalar(0));
+            assert_eq!(all_tied, naive.evict_victim(0));
+            let expected = match policy {
+                Replacement::AgingLru => ways - 1,
+                Replacement::TimestampLru => 0,
+            };
+            assert_eq!(
+                all_tied, expected,
+                "{policy:?} all-tied victim at {ways} ways"
+            );
+            // A duplicate-heavy stamp pattern: timestamp clocks repeat
+            // every three ways; aging stamps get the same shape via
+            // per-way touch sequences under timestamp policy only, so
+            // for aging we drive touches (which cap and tie naturally).
+            match policy {
+                Replacement::TimestampLru => {
+                    for w in 0..ways {
+                        soa.touch(0, w, w / 3);
+                        naive.touch(0, w, w / 3);
+                    }
+                }
+                Replacement::AgingLru => {
+                    // Touch a strided subset: untouched ways all share the
+                    // same (maximal) age — a multi-way tie.
+                    for w in (0..ways).step_by(3) {
+                        soa.touch(0, w, 0);
+                        naive.touch(0, w, 0);
+                    }
+                }
+            }
+            assert_eq!(soa.stamps(0), naive.stamps(0).as_slice());
+            let victim = soa.evict_victim(0);
+            assert_eq!(
+                victim,
+                soa.evict_victim_scalar(0),
+                "{policy:?} tie victim diverged from scalar at {ways} ways"
+            );
+            assert_eq!(
+                victim,
+                naive.evict_victim(0),
+                "{policy:?} tie victim diverged from naive at {ways} ways"
+            );
+        }
     }
 }

@@ -87,8 +87,8 @@ pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
 pub use journal::{merge_shards, IndexedCell, Journal, ShardOutput};
 pub use progress::{CounterSnapshot, ProgressConfig, ProgressMode, ProgressReporter};
 pub use scheduler::{
-    CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell, ShardSpec, ShardedExecutor,
-    TaskPlan,
+    plan_batches, BatchRunner, CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell,
+    ShardSpec, ShardedExecutor, TaskPlan,
 };
 pub use telemetry::{CampaignTiming, Clock, MockClock, MonotonicClock, Phase, Telemetry};
 pub use trace_store::TraceStore;

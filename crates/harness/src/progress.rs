@@ -296,11 +296,14 @@ impl ProgressReporter {
         let elapsed_ns = now_ns.saturating_sub(self.start_ns);
         let remaining = self.total.saturating_sub(self.done);
         // ETA assumes the remaining cells cost the running mean and the
-        // pool keeps all workers busy.
+        // pool keeps all workers busy: the pool drains them in
+        // ceil(remaining / threads) waves of one mean each. Flooring the
+        // division instead would underestimate the tail — 1 cell left on
+        // 4 threads takes ~one mean, not mean/4.
         let eta_ns = if self.done == 0 {
             0
         } else {
-            self.mean_cell_ns() * remaining as u64 / self.threads as u64
+            self.mean_cell_ns() * (remaining as u64).div_ceil(self.threads as u64)
         };
         let cells_per_sec = if elapsed_ns == 0 {
             0.0
@@ -433,6 +436,41 @@ mod tests {
         // 4 cells left × 4 s mean / 2 threads = 8 s.
         assert_eq!(e.eta_ns, 8 * SEC);
         assert!((e.cells_per_sec - 1.0).abs() < 1e-9);
+    }
+
+    /// The ETA tail must round up to whole pool waves: with one cell
+    /// left on four threads the estimate is ~one mean cell time, not
+    /// mean/4 (the floor-division bug this pins against).
+    #[test]
+    fn eta_tail_rounds_up_to_whole_pool_waves() {
+        use crate::telemetry::{Clock, MockClock};
+        let clock = MockClock::new(0);
+        let mut r = ProgressReporter::new(ProgressConfig::human(None), 4, 2, 0, clock.now_ns());
+
+        clock.advance(4 * SEC);
+        r.on_cell(
+            clock.now_ns(),
+            "Unison",
+            "a",
+            4 * SEC,
+            CounterSnapshot::default(),
+        );
+        let e = r.event(clock.now_ns(), CounterSnapshot::default());
+        assert_eq!(e.mean_cell_ns, 4 * SEC);
+        // 1 cell left on 4 threads: one full wave of the 4 s mean.
+        assert_eq!(e.eta_ns, 4 * SEC, "tail ETA must not divide below one wave");
+
+        // 5 remaining on 4 threads is two waves (ceil, not floor).
+        let mut r = ProgressReporter::new(ProgressConfig::human(None), 4, 6, 0, clock.now_ns());
+        r.on_cell(
+            clock.now_ns(),
+            "Unison",
+            "a",
+            4 * SEC,
+            CounterSnapshot::default(),
+        );
+        let e = r.event(clock.now_ns(), CounterSnapshot::default());
+        assert_eq!(e.eta_ns, 8 * SEC);
     }
 
     #[test]

@@ -325,14 +325,16 @@ pub enum TraceSource<'a> {
 /// and advance it to the artifact's end position — paying the full
 /// prefix generation cost once, in exchange for results that stay
 /// bit-identical to live generation no matter how large the overshoot.
-struct ReplayWithTail<'a> {
-    replay: unison_trace::TraceReplay<'a>,
-    scaled_spec: &'a WorkloadSpec,
-    seed: u64,
+pub(crate) struct ReplayWithTail<'a> {
+    pub(crate) replay: unison_trace::TraceReplay<'a>,
+    /// Owned so long-lived consumers (the batched [`crate::CellSim`])
+    /// only borrow the artifact, not a stack-local trace plan.
+    pub(crate) scaled_spec: WorkloadSpec,
+    pub(crate) seed: u64,
     /// Records the artifact holds — the stream position the tail
     /// generator must resume from.
-    frozen: usize,
-    tail: Option<WorkloadGen>,
+    pub(crate) frozen: usize,
+    pub(crate) tail: Option<WorkloadGen>,
 }
 
 impl ReplayWithTail<'_> {
@@ -397,34 +399,52 @@ pub fn run_experiment_with_source(
             drive(design, cache_bytes, spec, cfg, trace, plan.total)
         }
         TraceSource::Replay(artifact) => {
-            assert_eq!(
-                artifact.key(),
-                artifact_key(&plan.scaled_spec, cfg.seed),
-                "trace artifact was frozen for a different (scaled spec, seed) than \
-                 this run of '{}' (seed {}, scale 1/{}) requires",
-                spec.name,
-                cfg.seed,
-                cfg.scale,
-            );
-            assert!(
-                artifact.len() as u64 >= plan.frozen_len,
-                "trace artifact for '{}' holds {} records but this run plans for {} \
-                 ({} consumed + read-ahead margin); the trace store must freeze \
-                 TracePlan::frozen_len",
-                spec.name,
-                artifact.len(),
-                plan.frozen_len,
-                plan.total,
-            );
-            let trace = ReplayWithTail {
-                replay: artifact.replay(),
-                scaled_spec: &plan.scaled_spec,
-                seed: cfg.seed,
-                frozen: artifact.len(),
-                tail: None,
-            };
+            let trace = replay_with_tail(artifact, &plan, spec, cfg);
             drive(design, cache_bytes, spec, cfg, trace, plan.total)
         }
+    }
+}
+
+/// Builds the replay-with-tail cursor for `artifact` after validating it
+/// against the run's trace `plan` — the shared entry point of
+/// [`run_experiment_with_source`] and the batched [`crate::CellSim`].
+///
+/// # Panics
+///
+/// Panics if the artifact was frozen from a different
+/// `(scaled spec, seed)` or is shorter than `plan.frozen_len` — either
+/// would silently change results.
+pub(crate) fn replay_with_tail<'a>(
+    artifact: &'a TraceArtifact,
+    plan: &TracePlan,
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+) -> ReplayWithTail<'a> {
+    assert_eq!(
+        artifact.key(),
+        artifact_key(&plan.scaled_spec, cfg.seed),
+        "trace artifact was frozen for a different (scaled spec, seed) than \
+         this run of '{}' (seed {}, scale 1/{}) requires",
+        spec.name,
+        cfg.seed,
+        cfg.scale,
+    );
+    assert!(
+        artifact.len() as u64 >= plan.frozen_len,
+        "trace artifact for '{}' holds {} records but this run plans for {} \
+         ({} consumed + read-ahead margin); the trace store must freeze \
+         TracePlan::frozen_len",
+        spec.name,
+        artifact.len(),
+        plan.frozen_len,
+        plan.total,
+    );
+    ReplayWithTail {
+        replay: artifact.replay(),
+        scaled_spec: plan.scaled_spec.clone(),
+        seed: cfg.seed,
+        frozen: artifact.len(),
+        tail: None,
     }
 }
 
@@ -618,6 +638,25 @@ pub fn run_speedup_with_baseline_source(
     baseline: &RunResult,
     source: TraceSource<'_>,
 ) -> SpeedupResult {
+    check_baseline(baseline);
+    let run = run_experiment_with_source(design, cache_bytes, spec, cfg, source);
+    SpeedupResult {
+        speedup: run.uipc / baseline.uipc,
+        run,
+    }
+}
+
+/// Asserts `baseline` is usable as a speedup denominator — the single
+/// definition of "degenerate baseline" shared by
+/// [`run_speedup_with_baseline_source`] and the batched
+/// [`crate::CellSim`] path.
+///
+/// # Panics
+///
+/// Panics if `baseline.uipc` is zero, negative, or non-finite: dividing
+/// by a degenerate baseline would silently turn every speedup into
+/// `inf`/`NaN` and poison downstream geomeans.
+pub fn check_baseline(baseline: &RunResult) {
     assert!(
         baseline.uipc.is_finite() && baseline.uipc > 0.0,
         "degenerate NoCache baseline for '{}' (uipc = {}): speedups against it would be \
@@ -625,11 +664,6 @@ pub fn run_speedup_with_baseline_source(
         baseline.workload,
         baseline.uipc,
     );
-    let run = run_experiment_with_source(design, cache_bytes, spec, cfg, source);
-    SpeedupResult {
-        speedup: run.uipc / baseline.uipc,
-        run,
-    }
 }
 
 /// Runs `design` and the no-cache baseline under identical conditions

@@ -31,6 +31,37 @@ pub struct Progress {
     pub stall_ps: Ps,
 }
 
+/// Persistent dispatch state for a [`System::run_session`] run that is
+/// consumed in record-budget increments instead of one call.
+///
+/// [`System::run`] historically kept its per-core record buffers and its
+/// `(issue time, core)` heap as locals, so a run could only be driven in
+/// one call per phase. A `DispatchSession` lifts exactly that state out:
+/// stepping a session through N budget increments is **bit-identical** to
+/// one `run` call with the summed budget, because the dispatch loop
+/// already re-enters selection through the heap at every budget boundary
+/// (it pushes the active core's next `(issue, core)` entry back before
+/// breaking). Pinned by `session_stepping_matches_single_run`.
+///
+/// Sessions are deliberately *not* reusable across phases: the
+/// warmup/measurement boundary of `drive_cache` drops whatever records
+/// are buffered (see [`System::run`] on minimal refill), which a fresh
+/// session reproduces and a carried-over one would not.
+#[derive(Debug, Default)]
+pub struct DispatchSession {
+    bufs: Vec<VecDeque<TraceRecord>>,
+    heap: BinaryHeap<Reverse<(Ps, usize)>>,
+    exhausted: bool,
+    primed: bool,
+}
+
+impl DispatchSession {
+    /// Creates an empty session; per-core state is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl<C: DramCacheModel> System<C> {
     /// Builds a system of `cores` cores around `cache` and `mem`.
     ///
@@ -101,15 +132,40 @@ impl<C: DramCacheModel> System<C> {
     where
         I: Iterator<Item = TraceRecord>,
     {
+        let mut session = DispatchSession::new();
+        self.run_session(&mut session, trace, limit)
+    }
+
+    /// [`System::run`] against caller-held dispatch state: consumes up to
+    /// `limit` further records, leaving `session` ready to continue from
+    /// exactly where this call stopped. Driving one session through many
+    /// small budgets is bit-identical to one [`System::run`] call with
+    /// the summed budget — the stepping primitive batched multi-cell
+    /// simulation interleaves cells with.
+    pub fn run_session<I>(
+        &mut self,
+        session: &mut DispatchSession,
+        trace: &mut I,
+        limit: u64,
+    ) -> u64
+    where
+        I: Iterator<Item = TraceRecord>,
+    {
         let n_cores = self.cores.len();
-        let mut bufs: Vec<VecDeque<TraceRecord>> = vec![VecDeque::new(); n_cores];
-        // Heap of Reverse((issue_time, core)) for cores with a computed
-        // head-of-line issue time. Invariant: every core with a non-empty
-        // buffer has exactly one entry, except the core currently being
-        // consumed inside the inner loop below.
-        let mut heap: BinaryHeap<Reverse<(Ps, usize)>> = BinaryHeap::new();
+        // `bufs` is the per-core record buffer; `heap` holds
+        // Reverse((issue_time, core)) for cores with a computed
+        // head-of-line issue time. Invariant (holds between calls too):
+        // every core with a non-empty buffer has exactly one entry,
+        // except the core currently being consumed inside the inner loop
+        // below.
+        let DispatchSession {
+            bufs,
+            heap,
+            exhausted,
+            primed,
+        } = session;
+        let exhausted = &mut *exhausted;
         let mut consumed = 0u64;
-        let mut exhausted = false;
 
         // Pulls records until `core`'s buffer is non-empty (or the trace
         // ends), stashing other cores' records in their buffers. The core
@@ -134,13 +190,17 @@ impl<C: DramCacheModel> System<C> {
             }
         }
 
-        // Prime every core.
-        for c in 0..n_cores {
-            refill(trace, &mut bufs, c, &mut exhausted);
-            if let Some(r) = bufs[c].front() {
-                let issue = self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
-                heap.push(Reverse((issue, c)));
+        // Prime every core (once per session).
+        if !*primed {
+            bufs.resize(n_cores, VecDeque::new());
+            for c in 0..n_cores {
+                refill(trace, bufs, c, exhausted);
+                if let Some(r) = bufs[c].front() {
+                    let issue = self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
+                    heap.push(Reverse((issue, c)));
+                }
             }
+            *primed = true;
         }
 
         'dispatch: while consumed < limit {
@@ -172,7 +232,7 @@ impl<C: DramCacheModel> System<C> {
                 }
                 consumed += 1;
 
-                refill(trace, &mut bufs, c, &mut exhausted);
+                refill(trace, bufs, c, exhausted);
                 let Some(r) = bufs[c].front() else {
                     // Trace exhausted for this core; it leaves the heap.
                     continue 'dispatch;
@@ -392,6 +452,63 @@ mod tests {
                 fast.cache().stats().accesses,
                 slow.cache().stats().accesses,
                 "seed {seed}"
+            );
+        }
+    }
+
+    /// Stepping a persistent session through many odd-sized budget
+    /// increments must be indistinguishable from one `run` call with the
+    /// summed budget — same consumed counts, clocks, and cache stats —
+    /// including across a warmup-style boundary where each phase gets a
+    /// fresh session (reproducing the buffered-record drop).
+    #[test]
+    fn session_stepping_matches_single_run() {
+        for seed in [1u64, 42] {
+            let spec = workloads::web_serving();
+            let mut whole = System::new(
+                16,
+                IdealCache::new(1 << 26),
+                MemPorts::paper_default(),
+                CoreParams::default(),
+            );
+            let mut stepped = System::new(
+                16,
+                IdealCache::new(1 << 26),
+                MemPorts::paper_default(),
+                CoreParams::default(),
+            );
+            let mut trace_a = WorkloadGen::new(spec.clone(), seed);
+            let mut trace_b = WorkloadGen::new(spec, seed);
+
+            // Warmup phase: 7_000 records in one call vs ragged steps.
+            assert_eq!(whole.run(&mut trace_a, 7_000), 7_000);
+            let mut session = DispatchSession::new();
+            let mut left = 7_000u64;
+            for budget in [1u64, 7, 500, 1_234, 9_999] {
+                let got = stepped.run_session(&mut session, &mut trace_b, budget.min(left));
+                assert_eq!(got, budget.min(left));
+                left -= got;
+            }
+            assert_eq!(left, 0);
+
+            // Phase boundary: fresh sessions on both sides.
+            whole.reset_measurement();
+            stepped.reset_measurement();
+            assert_eq!(whole.run(&mut trace_a, 5_000), 5_000);
+            let mut session = DispatchSession::new();
+            let mut done = 0u64;
+            while done < 5_000 {
+                done += stepped.run_session(&mut session, &mut trace_b, 777.min(5_000 - done));
+            }
+
+            let (pa, pb) = (whole.progress(), stepped.progress());
+            assert_eq!(pa.instructions, pb.instructions, "seed {seed}");
+            assert_eq!(pa.elapsed_ps, pb.elapsed_ps, "seed {seed}");
+            assert_eq!(pa.stall_ps, pb.stall_ps, "seed {seed}");
+            assert_eq!(whole.cache().stats().hits, stepped.cache().stats().hits);
+            assert_eq!(
+                whole.cache().stats().accesses,
+                stepped.cache().stats().accesses
             );
         }
     }

@@ -306,6 +306,73 @@ fn soa_probe_path_no_slower_than_nested_vec_walk() {
     );
 }
 
+/// The vectorization claim, measured: the lane-parallel `probe_set`
+/// must beat the retained scalar reference by a clear margin on a wide
+/// set — 32 ways is where the chunked tag compare pays for its setup.
+/// Mostly-miss probes force full-set scans, the vectorized kernel's
+/// best case and the scalar loop's worst. Timing-sensitive, so it is
+/// `#[ignore]`d from the fast suite and run in release mode by the
+/// nightly CI job (`cargo test --release -- --include-ignored`).
+#[test]
+#[ignore = "perf assertion; meaningful in --release only (nightly CI runs it)"]
+fn vectorized_probe_beats_scalar_reference() {
+    use std::hint::black_box;
+    use std::time::Instant;
+    use unison_repro::core::{MetaStore, PageMeta, Replacement};
+
+    const SETS: u64 = 1 << 14;
+    const WAYS: u32 = 32;
+    const OPS: u64 = 2_000_000;
+
+    let mut store = MetaStore::paged(SETS, WAYS, Replacement::AgingLru);
+    for set in 0..SETS {
+        for w in 0..WAYS {
+            store.install(
+                set,
+                w,
+                PageMeta {
+                    tag: u64::from(w) * 3 + (set % 5),
+                    present: 0x7ff,
+                    ..PageMeta::default()
+                },
+            );
+        }
+    }
+
+    // Tags up to 32*3 + 4 are installed; probing `i % 997` makes most
+    // probes misses that must scan every way.
+    let walk = |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % SETS;
+    let mut time_vec = f64::INFINITY;
+    let mut time_scalar = f64::INFINITY;
+    // Interleaved best-of-5 to cancel frequency/thermal drift.
+    for _ in 0..5 {
+        let t = Instant::now();
+        for i in 0..OPS {
+            black_box(store.probe_set(walk(i), i % 997));
+        }
+        time_vec = time_vec.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for i in 0..OPS {
+            black_box(store.probe_set_scalar(walk(i), i % 997));
+        }
+        time_scalar = time_scalar.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "{WAYS}-way probe over {OPS} ops: vectorized {:.1} ms vs scalar {:.1} ms ({:.2}x)",
+        time_vec * 1e3,
+        time_scalar * 1e3,
+        time_scalar / time_vec
+    );
+    assert!(
+        time_vec * 1.2 <= time_scalar,
+        "vectorized probe is not >=1.2x the scalar reference: {:.1} ms vs {:.1} ms ({:.2}x)",
+        time_vec * 1e3,
+        time_scalar * 1e3,
+        time_scalar / time_vec
+    );
+}
+
 /// Cheap sanity on the fixtures themselves: the golden runs must exercise
 /// the machinery the refactor touches (evictions, writebacks, way and
 /// footprint prediction), otherwise "equivalence" would be vacuous.
