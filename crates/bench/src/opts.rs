@@ -231,32 +231,48 @@ impl BenchOpts {
     }
 
     /// Writes `value` as pretty JSON if `--json` was given.
+    ///
+    /// A write failure (disk full, bad directory, permissions) reports a
+    /// clean one-line `error: cannot write …` and exits 1 — the results
+    /// were computed, so a panic with a backtrace helps nobody.
     pub fn maybe_dump_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
-            let s = serde_json::to_string_pretty(value).expect("serialize results");
-            std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            let s = serde_json::to_string_pretty(value)
+                .unwrap_or_else(|e| sink_failed(&format!("results do not serialize: {e}")));
+            std::fs::write(path, s).unwrap_or_else(|e| {
+                sink_failed(&format!(
+                    "cannot write JSON results to {}: {e}",
+                    path.display()
+                ))
+            });
             println!("\n(wrote {})", path.display());
         }
     }
 
     /// Writes the campaign's full JSON document (counter/timing summary
-    /// + cells, [`sink::to_json`]) if `--json` was given.
+    /// plus cells, [`sink::to_json`]) if `--json` was given. Reports a
+    /// one-line error and exits 1 on write failure.
     pub fn maybe_dump_campaign_json(&self, results: &CampaignResult) {
         if let Some(path) = &self.json {
-            sink::write_json(results, path)
-                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            sink::write_json(results, path).unwrap_or_else(|e| sink_failed(&e.to_string()));
             println!("\n(wrote {})", path.display());
         }
     }
 
-    /// Writes the campaign's flat CSV if `--csv` was given.
+    /// Writes the campaign's flat CSV if `--csv` was given. Reports a
+    /// one-line error and exits 1 on write failure.
     pub fn maybe_dump_csv(&self, results: &CampaignResult) {
         if let Some(path) = &self.csv {
-            sink::write_csv(results, path)
-                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            sink::write_csv(results, path).unwrap_or_else(|e| sink_failed(&e.to_string()));
             println!("\n(wrote {})", path.display());
         }
     }
+}
+
+/// A result sink could not be written: one clean line on stderr, exit 1.
+fn sink_failed(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 /// Parses the optional `=SECS` suffix of a `--progress[=SECS]` /

@@ -19,13 +19,14 @@ use unison_sim::{
 use unison_trace::TraceArtifact;
 
 use crate::baseline::BaselineStore;
+use crate::fault;
 use crate::grid::{Cell, ScenarioGrid};
 use crate::journal::{IndexedCell, Journal, ShardOutput};
 use crate::pool::{self, parallel_map};
 use crate::progress::{CounterSnapshot, ProgressConfig, ProgressReporter};
 use crate::scheduler::{
-    BaselineTask, ExecHooks, Executor, InProcessExecutor, PlannedCell, ShardSpec, ShardedExecutor,
-    TaskPlan, TracePrefillTask,
+    BaselineTask, CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell, ShardSpec,
+    ShardedExecutor, TaskPlan, TracePrefillTask,
 };
 use crate::stats::geomean;
 use crate::telemetry::{CampaignTiming, Clock, MonotonicClock, Phase, Telemetry};
@@ -289,6 +290,7 @@ pub struct Campaign {
     batch: bool,
     journal: Option<PathBuf>,
     resume: bool,
+    excluded: HashSet<CellKey>,
     clock: Arc<dyn Clock>,
 }
 
@@ -304,6 +306,7 @@ impl Campaign {
             batch: true,
             journal: None,
             resume: false,
+            excluded: HashSet::new(),
             clock: Arc::new(MonotonicClock::new()),
         }
     }
@@ -383,6 +386,20 @@ impl Campaign {
     /// plan. A missing journal file simply starts fresh.
     pub fn resume(mut self, on: bool) -> Self {
         self.resume = on;
+        self
+    }
+
+    /// Excludes (quarantines) specific cells from **execution**: a cell
+    /// whose [`CellKey`] is listed is never simulated, though one
+    /// already completed in a resume journal is still restored. This is
+    /// the orchestrator's quarantine hand-off (`sweep --skip-cells`): a
+    /// worker relaunched after repeated crashes on one cell skips it and
+    /// completes the rest of its shard, degrading gracefully instead of
+    /// crash-looping. The resulting [`ShardOutput`] simply lacks the
+    /// excluded cells, which the supervisor accounts for in its
+    /// partial-result manifest.
+    pub fn exclude(mut self, keys: impl IntoIterator<Item = CellKey>) -> Self {
+        self.excluded.extend(keys);
         self
     }
 
@@ -503,7 +520,17 @@ impl Campaign {
                     .unwrap_or_default()
             );
         }
-        let skip: HashSet<usize> = restored.iter().map(|e| e.index).collect();
+        let mut skip: HashSet<usize> = restored.iter().map(|e| e.index).collect();
+        if !self.excluded.is_empty() {
+            // Quarantined cells: never execute (restored ones above are
+            // kept — a journaled completion is a completion).
+            skip.extend(
+                plan.cells
+                    .iter()
+                    .filter(|pc| self.excluded.contains(&pc.key))
+                    .map(|pc| pc.index),
+            );
+        }
         let to_run: Vec<usize> = assigned
             .iter()
             .copied()
@@ -599,6 +626,7 @@ impl Campaign {
                     threads: self.threads,
                     skip: &skip,
                     run: &|pc| {
+                        fault::check_cell_start(&pc.key.hex());
                         // Stamped on the worker thread: wall time of this
                         // cell's simulation alone, excluding queueing.
                         let start = telemetry.now_ns();
@@ -625,6 +653,9 @@ impl Campaign {
                         ) {
                             eprintln!("{line}");
                         }
+                        // After the journal append: the cells counted as
+                        // completed really are durable when this fires.
+                        fault::cell_completed(&pc.key.hex());
                     },
                 },
             )
@@ -768,6 +799,7 @@ impl Campaign {
         let mut pending: Vec<Pending> = Vec::new();
         for (pos, pc) in cells.iter().enumerate() {
             let cell = &pc.cell;
+            fault::check_cell_start(&pc.key.hex());
             let start = telemetry.now_ns();
             let mut cfg = self.cfg;
             cfg.seed = cell.seed;

@@ -1,0 +1,88 @@
+//! Typed I/O errors carrying file-path context.
+//!
+//! A bare `io::Error` ("No space left on device") from somewhere inside
+//! a thousand-cell campaign is useless; the same error naming the
+//! operation and the path ("cannot write shard output
+//! /scratch/worker-3.shard.json: No space left on device") is a
+//! one-line fix. Harness I/O paths that surface to users return
+//! [`FileError`] so the binaries can print exactly that line and exit,
+//! instead of panicking with a backtrace.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// An I/O operation that failed on a specific file.
+#[derive(Debug)]
+pub struct FileError {
+    /// What was being attempted, as a verb phrase ("write", "read",
+    /// "create directory for").
+    pub op: &'static str,
+    /// The file (or directory) the operation targeted.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl FileError {
+    /// Builds an error for `op` failing on `path`.
+    pub fn new(op: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> FileError {
+        FileError {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot {} {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for FileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Extension attaching `(op, path)` context to `io::Result`s in one
+/// call: `fs::write(&path, text).file_ctx("write", &path)?`.
+pub trait IoContext<T> {
+    /// Maps the error side into a [`FileError`] naming `op` and `path`.
+    fn file_ctx(self, op: &'static str, path: &Path) -> Result<T, FileError>;
+}
+
+impl<T> IoContext<T> for std::io::Result<T> {
+    fn file_ctx(self, op: &'static str, path: &Path) -> Result<T, FileError> {
+        self.map_err(|e| FileError::new(op, path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_operation_and_path() {
+        let e = FileError::new("write", "/tmp/out.json", std::io::Error::other("disk full"));
+        let msg = e.to_string();
+        assert!(msg.contains("cannot write /tmp/out.json"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+    }
+
+    #[test]
+    fn context_extension_wraps_io_results() {
+        let path = Path::new("/nonexistent/dir/file.txt");
+        let err = std::fs::read_to_string(path)
+            .file_ctx("read", path)
+            .unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/dir/file.txt"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Deterministic, environment-triggered fault injection.
+//!
+//! Crash recovery that is only exercised by real crashes is recovery
+//! that rots. This module lets the test suite and CI *inject* the
+//! failures the orchestrator must survive — a worker aborting after K
+//! completed cells, a journal append torn mid-line, a shard-output file
+//! corrupted on disk, a specific cell that panics every time it runs —
+//! at exact, reproducible points inside the worker code paths.
+//!
+//! Faults are armed per process via two environment variables:
+//!
+//! * `UNISON_FAULT=<spec>` — which fault to inject (see [`FaultSpec`]):
+//!   `crash-after-cells:K`, `torn-journal[:K]`, `corrupt-shard-output`,
+//!   or `panic-on-cell:<16-hex-key>`.
+//! * `UNISON_FAULT_ONCE=<path>` — optional marker file making the fault
+//!   fire **exactly once fleet-wide**: the first process to atomically
+//!   create the marker (`O_CREAT|O_EXCL`) fires; every later incarnation
+//!   (including the restarted worker resuming the journal) sees the
+//!   marker and runs clean. Without a marker the fault fires in every
+//!   incarnation that reaches its trigger point — which is how
+//!   `panic-on-cell` produces the repeat-offender signature the
+//!   orchestrator quarantines on.
+//!
+//! The environment is read once per process ([`std::sync::OnceLock`]);
+//! a process with no `UNISON_FAULT` pays one atomic load per hook call.
+//! Crash-style faults ([`die`]) use [`std::process::abort`], not
+//! `panic!`, so no destructor, unwind handler, or buffered writer gets a
+//! chance to tidy up — exactly like a SIGKILL or a power cut, which is
+//! the failure the journal's torn-tail recovery exists for.
+
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the fault to inject ([`FaultSpec`]).
+pub const FAULT_ENV: &str = "UNISON_FAULT";
+
+/// Environment variable naming the exactly-once marker file (optional).
+pub const FAULT_ONCE_ENV: &str = "UNISON_FAULT_ONCE";
+
+/// One injectable fault, parsed from the `UNISON_FAULT` spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// `crash-after-cells:K` — abort the process immediately after the
+    /// K-th cell completion is journaled (1-based). The K completed
+    /// cells are durable; everything else is lost, exactly as a crash
+    /// between checkpoints would lose it.
+    CrashAfterCells(u64),
+    /// `torn-journal[:K]` — on the K-th journal append (1-based,
+    /// default 1), write only half the entry line with no newline, flush
+    /// it, and abort: the torn tail a mid-write kill leaves behind.
+    TornJournal(u64),
+    /// `corrupt-shard-output` — truncate and garbage the serialized
+    /// shard-output bytes before they are written, then let the worker
+    /// exit *successfully*: the silent-corruption case the supervisor's
+    /// output verification must catch.
+    CorruptShardOutput,
+    /// `panic-on-cell:KEY` — panic (a real unwind, relabeled by the
+    /// worker pool with the cell identity) whenever the cell with this
+    /// canonical 16-hex key starts simulating. Without a marker it fires
+    /// every incarnation: the deterministic repeat offender that drives
+    /// the orchestrator's quarantine path.
+    PanicOnCell(String),
+}
+
+impl FaultSpec {
+    /// Parses the `UNISON_FAULT` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed piece: unknown fault kind,
+    /// missing/zero/non-numeric count, or a cell key that is not 16 hex
+    /// digits.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k.trim(), Some(a.trim())),
+            None => (s.trim(), None),
+        };
+        let count = |default: Option<u64>| -> Result<u64, String> {
+            let Some(a) = arg else {
+                return default.ok_or_else(|| format!("{kind} needs a count, e.g. {kind}:2"));
+            };
+            let n: u64 = a
+                .parse()
+                .map_err(|_| format!("bad count {a:?} in {kind}"))?;
+            if n == 0 {
+                return Err(format!(
+                    "{kind} count is 1-based; use {kind}:1 for the first"
+                ));
+            }
+            Ok(n)
+        };
+        match kind {
+            "crash-after-cells" => Ok(FaultSpec::CrashAfterCells(count(None)?)),
+            "torn-journal" => Ok(FaultSpec::TornJournal(count(Some(1))?)),
+            "corrupt-shard-output" => match arg {
+                None => Ok(FaultSpec::CorruptShardOutput),
+                Some(a) => Err(format!("corrupt-shard-output takes no argument, got {a:?}")),
+            },
+            "panic-on-cell" => {
+                let key = arg.ok_or("panic-on-cell needs a 16-hex cell key")?;
+                if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!(
+                        "panic-on-cell key must be 16 hex digits, got {key:?}"
+                    ));
+                }
+                Ok(FaultSpec::PanicOnCell(key.to_ascii_lowercase()))
+            }
+            other => Err(format!(
+                "unknown fault {other:?} (known: crash-after-cells:K, torn-journal[:K], \
+                 corrupt-shard-output, panic-on-cell:KEY)"
+            )),
+        }
+    }
+}
+
+/// The armed fault state of one process: the spec, the optional
+/// exactly-once marker, and the trigger counters. Constructed directly
+/// in unit tests; production code goes through the free functions, which
+/// read the environment once.
+#[derive(Debug)]
+pub struct Injector {
+    spec: FaultSpec,
+    once_marker: Option<PathBuf>,
+    cells_done: AtomicU64,
+    appends: AtomicU64,
+}
+
+impl Injector {
+    /// Builds an injector for `spec`, firing at most once fleet-wide
+    /// when `once_marker` is set (see [`FAULT_ONCE_ENV`]).
+    pub fn new(spec: FaultSpec, once_marker: Option<PathBuf>) -> Injector {
+        Injector {
+            spec,
+            once_marker,
+            cells_done: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the right to fire. Without a marker, always true. With
+    /// one, true only for the single process (fleet-wide, across
+    /// restarts) that atomically creates the marker file first.
+    fn arm(&self) -> bool {
+        match &self.once_marker {
+            None => true,
+            Some(marker) => OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(marker)
+                .is_ok(),
+        }
+    }
+
+    /// [`FaultSpec::CrashAfterCells`] trigger: counts a journaled cell
+    /// completion and returns true when the process should abort now.
+    pub fn fire_cell_completed(&self) -> bool {
+        let FaultSpec::CrashAfterCells(k) = self.spec else {
+            return false;
+        };
+        self.cells_done.fetch_add(1, Ordering::SeqCst) + 1 == k && self.arm()
+    }
+
+    /// [`FaultSpec::TornJournal`] trigger: counts a journal append and,
+    /// when it is the fatal one, returns the torn prefix (half the
+    /// line, no newline) to flush before aborting.
+    pub fn fire_torn_append(&self, line: &str) -> Option<String> {
+        let FaultSpec::TornJournal(k) = self.spec else {
+            return None;
+        };
+        if self.appends.fetch_add(1, Ordering::SeqCst) + 1 == k && self.arm() {
+            return Some(line[..line.len() / 2].to_string());
+        }
+        None
+    }
+
+    /// [`FaultSpec::CorruptShardOutput`] trigger: mangles `bytes` in
+    /// place (truncate + garbage tail) and returns whether it did.
+    pub fn fire_corrupt_output(&self, bytes: &mut Vec<u8>) -> bool {
+        if self.spec != FaultSpec::CorruptShardOutput || !self.arm() {
+            return false;
+        }
+        bytes.truncate(bytes.len() / 2);
+        bytes.extend_from_slice(b"\n<injected corruption>\n");
+        true
+    }
+
+    /// [`FaultSpec::PanicOnCell`] trigger: true when the cell with
+    /// canonical key `key_hex` must panic on start.
+    pub fn fire_poison_cell(&self, key_hex: &str) -> bool {
+        let FaultSpec::PanicOnCell(poison) = &self.spec else {
+            return false;
+        };
+        poison == key_hex && self.arm()
+    }
+}
+
+/// The process-wide injector, armed from the environment on first use.
+/// `None` when `UNISON_FAULT` is unset, empty, or malformed (malformed
+/// specs are loudly ignored: a typo'd test knob must never take a real
+/// campaign down).
+fn injector() -> Option<&'static Injector> {
+    static INJECTOR: OnceLock<Option<Injector>> = OnceLock::new();
+    INJECTOR
+        .get_or_init(|| {
+            let raw = std::env::var(FAULT_ENV).ok()?;
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return None;
+            }
+            match FaultSpec::parse(raw) {
+                Ok(spec) => {
+                    let marker = std::env::var(FAULT_ONCE_ENV).ok().map(PathBuf::from);
+                    Some(Injector::new(spec, marker))
+                }
+                Err(e) => {
+                    eprintln!("[fault] ignoring {FAULT_ENV}={raw:?}: {e}");
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// Aborts the process after an unmissable stderr marker — the hard-crash
+/// primitive every firing fault funnels through. Public so the harness
+/// code paths that must die mid-operation (e.g. the torn-journal append)
+/// can share the marker format the supervisor greps for.
+pub fn die(what: &str) -> ! {
+    eprintln!("[fault] {what}; aborting process");
+    std::process::abort();
+}
+
+/// Hook: a cell completion was journaled (called by the campaign's
+/// completion observer, *after* the journal append, so the K durable
+/// cells really are durable). Fires [`FaultSpec::CrashAfterCells`].
+pub fn cell_completed(key_hex: &str) {
+    if let Some(inj) = injector() {
+        if inj.fire_cell_completed() {
+            die(&format!(
+                "crash-after-cells firing after cell key={key_hex}"
+            ));
+        }
+    }
+}
+
+/// Hook: a cell is about to start simulating (called from the campaign's
+/// run paths on the worker thread). Fires [`FaultSpec::PanicOnCell`] as
+/// a real panic, which the worker pool relabels with the cell identity.
+///
+/// # Panics
+///
+/// Panics (by design) when the armed fault poisons this cell.
+pub fn check_cell_start(key_hex: &str) {
+    if let Some(inj) = injector() {
+        if inj.fire_poison_cell(key_hex) {
+            panic!("injected fault: poison cell key={key_hex}");
+        }
+    }
+}
+
+/// Hook: `Journal::append` is about to write `line`. When the armed
+/// [`FaultSpec::TornJournal`] fires on this append, returns the torn
+/// prefix the journal must flush before calling [`die`].
+pub fn torn_journal_prefix(line: &str) -> Option<String> {
+    injector()?.fire_torn_append(line)
+}
+
+/// Hook: serialized shard-output bytes are about to be written. Fires
+/// [`FaultSpec::CorruptShardOutput`], mangling `bytes` in place; returns
+/// whether it did (the writer logs it and then writes the garbage,
+/// exiting successfully — the supervisor must catch this on its own).
+pub fn corrupt_shard_output(bytes: &mut Vec<u8>) -> bool {
+    match injector() {
+        Some(inj) => {
+            let fired = inj.fire_corrupt_output(bytes);
+            if fired {
+                eprintln!("[fault] corrupt-shard-output mangled the shard output bytes");
+            }
+            fired
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject() {
+        assert_eq!(
+            FaultSpec::parse("crash-after-cells:3").unwrap(),
+            FaultSpec::CrashAfterCells(3)
+        );
+        assert_eq!(
+            FaultSpec::parse("torn-journal").unwrap(),
+            FaultSpec::TornJournal(1)
+        );
+        assert_eq!(
+            FaultSpec::parse("torn-journal:5").unwrap(),
+            FaultSpec::TornJournal(5)
+        );
+        assert_eq!(
+            FaultSpec::parse("corrupt-shard-output").unwrap(),
+            FaultSpec::CorruptShardOutput
+        );
+        assert_eq!(
+            FaultSpec::parse("panic-on-cell:00DEADBEEF123456").unwrap(),
+            FaultSpec::PanicOnCell("00deadbeef123456".into())
+        );
+        for bad in [
+            "crash-after-cells",
+            "crash-after-cells:0",
+            "crash-after-cells:x",
+            "torn-journal:0",
+            "corrupt-shard-output:1",
+            "panic-on-cell",
+            "panic-on-cell:xyz",
+            "panic-on-cell:123",
+            "sigsegv",
+            "",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn crash_after_cells_counts_completions() {
+        let inj = Injector::new(FaultSpec::CrashAfterCells(3), None);
+        assert!(!inj.fire_cell_completed());
+        assert!(!inj.fire_cell_completed());
+        assert!(inj.fire_cell_completed(), "fires exactly on the 3rd");
+        assert!(!inj.fire_cell_completed(), "and never again");
+        // Other triggers stay inert under this spec.
+        assert!(inj.fire_torn_append("x").is_none());
+        assert!(!inj.fire_poison_cell("0000000000000000"));
+    }
+
+    #[test]
+    fn torn_append_returns_half_the_line() {
+        let inj = Injector::new(FaultSpec::TornJournal(2), None);
+        assert!(inj.fire_torn_append("first line").is_none());
+        let line = "{\"index\":7,\"key\":\"k\"}";
+        let torn = inj.fire_torn_append(line).unwrap();
+        assert_eq!(torn, &line[..line.len() / 2]);
+        assert!(
+            serde_json::parse(&torn).is_err(),
+            "torn prefix must not parse"
+        );
+        assert!(inj.fire_torn_append("third").is_none());
+    }
+
+    #[test]
+    fn corrupt_output_mangles_bytes() {
+        let inj = Injector::new(FaultSpec::CorruptShardOutput, None);
+        let mut bytes = b"{\"fingerprint\": \"abc\", \"cells\": []}".to_vec();
+        let original = bytes.clone();
+        assert!(inj.fire_corrupt_output(&mut bytes));
+        assert_ne!(bytes, original);
+        assert!(serde_json::parse(std::str::from_utf8(&bytes).unwrap_or("x")).is_err());
+    }
+
+    #[test]
+    fn poison_cell_matches_its_key_every_time() {
+        let inj = Injector::new(FaultSpec::PanicOnCell("00deadbeef123456".into()), None);
+        assert!(!inj.fire_poison_cell("ffffffffffffffff"));
+        assert!(inj.fire_poison_cell("00deadbeef123456"));
+        assert!(
+            inj.fire_poison_cell("00deadbeef123456"),
+            "no marker: a poison cell fires every incarnation"
+        );
+    }
+
+    #[test]
+    fn once_marker_claims_exactly_one_firing() {
+        let dir = std::env::temp_dir().join(format!("unison-fault-once-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let marker = dir.join("marker");
+        let a = Injector::new(
+            FaultSpec::PanicOnCell("00deadbeef123456".into()),
+            Some(marker.clone()),
+        );
+        let b = Injector::new(
+            FaultSpec::PanicOnCell("00deadbeef123456".into()),
+            Some(marker.clone()),
+        );
+        assert!(
+            a.fire_poison_cell("00deadbeef123456"),
+            "first claimant fires"
+        );
+        assert!(
+            !b.fire_poison_cell("00deadbeef123456"),
+            "second process (or restarted incarnation) sees the marker and runs clean"
+        );
+        assert!(marker.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

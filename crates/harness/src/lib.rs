@@ -47,6 +47,15 @@
 //!   identity: it feeds no key or fingerprint, and byte-identity
 //!   checks compare [`CampaignResult::canonical_cells`] (timing
 //!   stripped).
+//! * [`orchestrator`] — the fault-tolerant campaign supervisor behind
+//!   `sweep --orchestrate N`: journaled shard worker processes,
+//!   crash-restart under bounded exponential backoff, repeat-offender
+//!   cell quarantine, journal salvage, and an explicit partial-result
+//!   [`CampaignManifest`] when the campaign degrades. Paired with
+//!   [`fault`], a deterministic env-triggered fault-injection layer
+//!   (`UNISON_FAULT=crash-after-cells:K`, `torn-journal`,
+//!   `corrupt-shard-output`, `panic-on-cell:KEY`) that makes the
+//!   recovery paths testable end to end.
 //!
 //! # Example
 //!
@@ -71,8 +80,11 @@
 
 mod baseline;
 mod campaign;
+pub mod errors;
+pub mod fault;
 mod grid;
 pub mod journal;
+pub mod orchestrator;
 pub mod pool;
 pub mod progress;
 pub mod scheduler;
@@ -83,9 +95,17 @@ mod trace_store;
 
 pub use baseline::BaselineStore;
 pub use campaign::{Campaign, CampaignResult, CampaignSummary, CellResult, TracePolicy};
+pub use errors::{FileError, IoContext};
 pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
 pub use journal::{merge_shards, IndexedCell, Journal, ShardOutput};
-pub use progress::{CounterSnapshot, ProgressConfig, ProgressMode, ProgressReporter};
+pub use orchestrator::{
+    CampaignManifest, OrchestrateOutcome, OrchestratorConfig, QuarantinedCell, WorkerLaunch,
+    WorkerPaths, WorkerReport,
+};
+pub use progress::{
+    CounterSnapshot, FleetProgress, ProgressConfig, ProgressMode, ProgressReporter, WorkerPhase,
+    WorkerSample,
+};
 pub use scheduler::{
     plan_batches, BatchRunner, CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell,
     ShardSpec, ShardedExecutor, TaskPlan,

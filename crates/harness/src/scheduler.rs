@@ -425,7 +425,15 @@ pub trait Executor {
                     rs
                 },
                 &|b| {
-                    let first = plan.cells[b[0]].cell.describe();
+                    // The [key=…] tag is machine-parseable culprit
+                    // identity: the orchestrator greps a dead worker's
+                    // log for it to decide which cell to quarantine. A
+                    // batch is labeled by its first cell (best effort —
+                    // a panic message carrying its own key, like an
+                    // injected poison cell, overrides it since culprit
+                    // extraction takes the last key on the line).
+                    let pc = &plan.cells[b[0]];
+                    let first = format!("{} [key={}]", pc.cell.describe(), pc.key.hex());
                     match b.len() {
                         1 => first,
                         n => format!("{first} (+{} trace-sharing cell(s))", n - 1),
@@ -451,7 +459,7 @@ pub trait Executor {
             &tasks,
             hooks.threads,
             |pc| run(pc),
-            &|pc| pc.cell.describe(),
+            &|pc| format!("{} [key={}]", pc.cell.describe(), pc.key.hex()),
             &mut |slot, r| observe(tasks[slot], r),
         );
         indices.into_iter().zip(results).collect()

@@ -6,6 +6,7 @@ use std::path::Path;
 use serde::Serialize;
 
 use crate::campaign::{CampaignResult, CampaignSummary, CellResult};
+use crate::errors::{FileError, IoContext};
 
 /// CSV header row produced by [`to_csv`].
 ///
@@ -90,13 +91,24 @@ pub fn to_csv(results: &CampaignResult) -> String {
 }
 
 /// Writes [`to_json`] output to `path`.
-pub fn write_json(results: &CampaignResult, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_json(results))
+///
+/// # Errors
+///
+/// Returns a [`FileError`] naming the operation and path on write
+/// failure, so callers can report `cannot write JSON results /path: …`
+/// instead of a bare I/O error.
+pub fn write_json(results: &CampaignResult, path: &Path) -> Result<(), FileError> {
+    std::fs::write(path, to_json(results)).file_ctx("write JSON results to", path)
 }
 
 /// Writes [`to_csv`] output to `path`.
-pub fn write_csv(results: &CampaignResult, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_csv(results))
+///
+/// # Errors
+///
+/// Returns a [`FileError`] naming the operation and path on write
+/// failure.
+pub fn write_csv(results: &CampaignResult, path: &Path) -> Result<(), FileError> {
+    std::fs::write(path, to_csv(results)).file_ctx("write CSV results to", path)
 }
 
 /// RFC-4180 field escaping: quote when the value contains a comma, a
