@@ -19,21 +19,30 @@
 //!   geomean speedups the cells produced (so a perf regression that
 //!   changes *results* is visible next to one that changes *speed*).
 //!
+//! The campaign runs under cost-model LPT scheduling (longest cells
+//! first, ordered by the structural prior) and the report's
+//! `scheduling` block compares the blind `key % N` shard split against
+//! the cost-balanced partition on the measured cell times.
+//!
 //! The output lands in `BENCH_<label>.json` (override with `--out`).
 //! Checked-in snapshots of this file form the repo's perf trajectory:
-//! compare two snapshots field-by-field to see what a change cost.
-//! Timings are wall-clock and machine-dependent — compare snapshots
-//! from the same machine class, or lean on the dimensionless ratios.
+//! compare two snapshots field-by-field to see what a change cost —
+//! the report prints headline deltas against the previous snapshot
+//! (the existing `--out` file, or `BENCH_v<n-1>.json` for `v<n>`
+//! labels) when one is present. Timings are wall-clock and
+//! machine-dependent — compare snapshots from the same machine class,
+//! or lean on the dimensionless ratios.
 
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use unison_bench::{BenchOpts, Table};
 use unison_core::{MetaStore, PageMeta, Replacement};
+use unison_harness::costs::{bin_loads, imbalance_ratio};
 use unison_harness::telemetry::fmt_ns;
-use unison_harness::{stats, ScenarioGrid};
+use unison_harness::{stats, CostModel, ScenarioGrid, TaskPlan};
 use unison_sim::Design;
 use unison_trace::{workloads, TraceArtifact, WorkloadGen};
 
@@ -42,8 +51,13 @@ use unison_trace::{workloads, TraceArtifact, WorkloadGen};
 /// `cells_per_sec` switched denominators from end-to-end wall time to
 /// the cells phase alone (making it comparable with the per-design
 /// rates, which were already cell-time-based); the old end-to-end view
-/// moved to the new `cells_per_sec_end_to_end`.
-const SCHEMA_VERSION: u32 = 2;
+/// moved to the new `cells_per_sec_end_to_end`. v3: campaign timings
+/// are now measured under cost-model LPT scheduling (structural prior,
+/// longest cells first) instead of grid order — timing fields are not
+/// comparable with v2 snapshots — and the new `campaign.scheduling`
+/// block records how the measured cell costs would split across shard
+/// workers (blind key-hash vs balanced LPT partition).
+const SCHEMA_VERSION: u32 = 3;
 
 /// The complete report document (`BENCH_<label>.json`).
 #[derive(Debug, Serialize)]
@@ -96,7 +110,28 @@ struct CampaignReport {
     /// (`wall_ns`, including trace-prefill and baseline phases) — what
     /// a user actually waits for. Always ≤ `cells_per_sec`.
     cells_per_sec_end_to_end: f64,
+    scheduling: SchedulingReport,
     designs: Vec<DesignReport>,
+}
+
+/// Cost-model scheduling telemetry: how this campaign's *measured*
+/// per-cell wall times would split across shard workers under the two
+/// partition strategies `sweep` offers, plus how well the structural
+/// prior (what a first-ever run schedules on) predicted those times.
+#[derive(Debug, Serialize)]
+struct SchedulingReport {
+    /// Simulated shard-worker count: the report's thread count, floored
+    /// at 2 so the comparison is never vacuous.
+    workers: u32,
+    /// Max/mean worker busy time under the blind `key % N` partition.
+    imbalance_blind: f64,
+    /// Max/mean worker busy time under cost-model LPT bin-packing (the
+    /// `sweep --partition balanced` split, here fed the costs learned
+    /// from this very run), on the same measured wall times.
+    imbalance_balanced: f64,
+    /// Mean relative error of the structural prior vs measured wall
+    /// time, over all cells: `mean(|prior - actual| / actual)`.
+    prior_cost_error: f64,
 }
 
 /// One design's slice of the campaign.
@@ -195,7 +230,10 @@ fn run_campaign(opts: &BenchOpts) -> CampaignReport {
         .designs(designs)
         .workloads(grid_workloads.clone())
         .sizes([size]);
-    let results = opts.campaign().run_speedups(&grid);
+    // An empty model schedules on the structural prior, so the campaign
+    // runs its long cells (Unison) first — the same longest-first order
+    // a first-ever `sweep --costs` run uses.
+    let results = opts.campaign().costs(CostModel::new()).run_speedups(&grid);
     let summary = results.summary();
 
     let mut per_design = Vec::new();
@@ -217,6 +255,41 @@ fn run_campaign(opts: &BenchOpts) -> CampaignReport {
         });
     }
 
+    // Partition comparison on this run's measured wall times: cells are
+    // in plan order, so `measured[i]` is the cost of plan cell `i`.
+    let plan = TaskPlan::lower(&opts.cfg, &grid, true);
+    let measured: Vec<u64> = results.cells().iter().map(|c| c.wall_ns).collect();
+    let workers = opts.threads.max(2) as u32;
+    let blind: Vec<Vec<usize>> = {
+        let mut bins = vec![Vec::new(); workers as usize];
+        for pc in &plan.cells {
+            bins[pc.key.shard_of(workers) as usize].push(pc.index);
+        }
+        bins
+    };
+    let mut learned = CostModel::new();
+    for c in results.cells() {
+        learned.observe(c);
+    }
+    let balanced = learned.partition(&plan, opts.cfg.accesses, workers);
+    let prior = CostModel::new();
+    let errs: Vec<f64> = plan
+        .cells
+        .iter()
+        .zip(&measured)
+        .filter(|(_, &w)| w > 0)
+        .map(|(pc, &w)| {
+            let p = prior.predict(&pc.cell, opts.cfg.accesses) as f64;
+            (p - w as f64).abs() / w as f64
+        })
+        .collect();
+    let scheduling = SchedulingReport {
+        workers,
+        imbalance_blind: imbalance_ratio(&bin_loads(&measured, &blind)),
+        imbalance_balanced: imbalance_ratio(&bin_loads(&measured, &balanced)),
+        prior_cost_error: stats::mean(&errs).unwrap_or(0.0),
+    };
+
     let rate = |ns: u64| {
         let secs = ns as f64 / 1e9;
         if secs > 0.0 {
@@ -234,8 +307,55 @@ fn run_campaign(opts: &BenchOpts) -> CampaignReport {
         cell_wall_ns_mean: summary.cell_wall_ns_mean,
         cells_per_sec: rate(results.timing.cells_ns),
         cells_per_sec_end_to_end: rate(results.timing.total_ns),
+        scheduling,
         designs: per_design,
     }
+}
+
+/// Finds the snapshot to diff against: the file already at the output
+/// path, else the previous `BENCH_v<n-1>.json` next to it for `v<n>`
+/// labels. Parsed as a raw value tree so any schema version loads.
+fn previous_snapshot(out: &Path, label: &str) -> Option<(PathBuf, Value)> {
+    let mut candidates = vec![out.to_path_buf()];
+    if let Some(n) = label.strip_prefix('v').and_then(|s| s.parse::<u64>().ok()) {
+        if n > 0 {
+            let sibling = format!("BENCH_v{}.json", n - 1);
+            candidates.push(match out.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p.join(sibling),
+                _ => PathBuf::from(sibling),
+            });
+        }
+    }
+    candidates.into_iter().find_map(|p| {
+        let text = std::fs::read_to_string(&p).ok()?;
+        let v = serde_json::parse(&text).ok()?;
+        Some((p, v))
+    })
+}
+
+/// Walks `path` through a parsed JSON tree and coerces the leaf number.
+fn num(v: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    match *cur {
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        Value::F64(n) => Some(n),
+        _ => None,
+    }
+}
+
+/// One `old -> new` delta line (skipped when the previous snapshot
+/// lacks the field or holds a degenerate value).
+fn print_delta(name: &str, old: Option<f64>, new: f64) {
+    let Some(old) = old else { return };
+    if old <= 0.0 {
+        return;
+    }
+    let pct = (new - old) / old * 100.0;
+    println!("  {name:<24} {old:>10.2} -> {new:>10.2}  ({pct:+.1}%)");
 }
 
 fn usage(msg: &str) -> ! {
@@ -315,6 +435,15 @@ fn main() {
         campaign.cells_per_sec,
         campaign.cells_per_sec_end_to_end,
     );
+    let s = &campaign.scheduling;
+    println!(
+        "scheduling ({} simulated shard workers): imbalance {:.3}x blind -> {:.3}x balanced; \
+         prior cost error {:.0}%",
+        s.workers,
+        s.imbalance_blind,
+        s.imbalance_balanced,
+        s.prior_cost_error * 100.0,
+    );
 
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -329,6 +458,32 @@ fn main() {
         microbench: micro,
         campaign,
     };
+    // Diff against the previous snapshot before overwriting anything.
+    if let Some((prev_path, prev)) = previous_snapshot(&out, &report.label) {
+        println!();
+        println!("deltas vs {}:", prev_path.display());
+        print_delta(
+            "meta probe ns/op",
+            num(&prev, &["microbench", "probe_ns_per_op"]),
+            report.microbench.probe_ns_per_op,
+        );
+        print_delta(
+            "replay ns/record",
+            num(&prev, &["microbench", "replay_ns_per_record"]),
+            report.microbench.replay_ns_per_record,
+        );
+        print_delta(
+            "cells/s (cells phase)",
+            num(&prev, &["campaign", "cells_per_sec"]),
+            report.campaign.cells_per_sec,
+        );
+        print_delta(
+            "cells/s end-to-end",
+            num(&prev, &["campaign", "cells_per_sec_end_to_end"]),
+            report.campaign.cells_per_sec_end_to_end,
+        );
+    }
+
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, text).unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
     println!("\n(wrote {})", out.display());

@@ -292,6 +292,7 @@ pub struct Campaign {
     resume: bool,
     excluded: HashSet<CellKey>,
     clock: Arc<dyn Clock>,
+    costs: Option<Arc<crate::costs::CostModel>>,
 }
 
 impl Campaign {
@@ -308,7 +309,18 @@ impl Campaign {
             resume: false,
             excluded: HashSet::new(),
             clock: Arc::new(MonotonicClock::new()),
+            costs: None,
         }
+    }
+
+    /// Loads a [`CostModel`](crate::CostModel): the executor schedules
+    /// work longest-first (LPT) under its predictions and the progress
+    /// ETA weights remaining work by predicted cost. Scheduling only —
+    /// results and canonical output are byte-identical with or without
+    /// a model.
+    pub fn costs(mut self, model: crate::costs::CostModel) -> Self {
+        self.costs = Some(Arc::new(model));
+        self
     }
 
     /// Sets the worker-pool width. `1` reproduces the historical serial
@@ -602,6 +614,13 @@ impl Campaign {
             trace_memo_hits: traces.as_ref().map_or(0, |t| t.memo_hits()),
             trace_disk_hits: traces.as_ref().map_or(0, |t| t.disk_hits()),
         };
+        // Predicted per-plan-index costs, present when a model is
+        // loaded: drives LPT ordering in the executor and cost-weighted
+        // ETAs in the reporter.
+        let plan_costs: Option<Vec<u64>> = self
+            .costs
+            .as_ref()
+            .map(|m| m.plan_costs(&plan, self.cfg.accesses));
         let mut reporter = ProgressReporter::new(
             self.progress,
             self.threads,
@@ -609,6 +628,14 @@ impl Campaign {
             restored.len(),
             telemetry.now_ns(),
         );
+        if let Some(costs) = &plan_costs {
+            reporter = reporter.with_predicted_work(
+                to_run
+                    .iter()
+                    .map(|&i| costs[i])
+                    .fold(0u64, u64::saturating_add),
+            );
+        }
         let run_batch = |cells: &[&PlannedCell]| {
             self.run_cell_batch(
                 cells,
@@ -636,6 +663,7 @@ impl Campaign {
                     },
                     run_batch: (self.batch && traces.is_some())
                         .then_some(&run_batch as &crate::scheduler::BatchRunner),
+                    cost: plan_costs.as_deref(),
                     observe: &mut |pc, r| {
                         if let Some(j) = &journal {
                             j.append(&IndexedCell {
@@ -649,6 +677,7 @@ impl Campaign {
                             r.design(),
                             &pc.cell.describe(),
                             r.wall_ns,
+                            plan_costs.as_ref().map_or(0, |c| c[pc.index]),
                             counters(),
                         ) {
                             eprintln!("{line}");
@@ -1023,6 +1052,48 @@ mod tests {
             .iter()
             .filter(|c| c.design() != "NoCache")
             .all(|c| c.wall_ns > 0));
+    }
+
+    /// LPT scheduling under a cost model reorders execution only:
+    /// canonical output is byte-identical to a model-free serial run,
+    /// for both the batched and per-cell paths.
+    #[test]
+    fn lpt_scheduling_is_bit_identical() {
+        let grid = ScenarioGrid::new()
+            .designs([Design::Unison, Design::Alloy, Design::Ideal])
+            .workloads([workloads::web_search(), workloads::data_serving()])
+            .sizes([128 << 20, 256 << 20]);
+        let plain = Campaign::new(SimConfig::quick_test())
+            .threads(1)
+            .run_speedups(&grid);
+        // A learned model with deliberately inverted costs (cheap
+        // designs predicted expensive) maximally perturbs the order.
+        let mut model = crate::costs::CostModel::new();
+        for cell in grid.cells(SimConfig::quick_test().seed) {
+            let ns = match cell.design {
+                Design::Ideal => 9_000_000,
+                _ => 1_000_000,
+            };
+            model.record(
+                &cell.design.name(),
+                cell.workload.name,
+                &cell.scenario.name,
+                cell.cache_bytes,
+                ns,
+            );
+        }
+        for batch in [false, true] {
+            let lpt = Campaign::new(SimConfig::quick_test())
+                .threads(2)
+                .batch(batch)
+                .costs(model.clone())
+                .run_speedups(&grid);
+            assert_eq!(
+                serde_json::to_string(&plain.canonical_cells()).unwrap(),
+                serde_json::to_string(&lpt.canonical_cells()).unwrap(),
+                "LPT (batch={batch}) diverged from the serial run"
+            );
+        }
     }
 
     /// Plain (no-speedup) campaigns batch too — including `NoCache`

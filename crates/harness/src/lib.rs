@@ -47,6 +47,13 @@
 //!   identity: it feeds no key or fingerprint, and byte-identity
 //!   checks compare [`CampaignResult::canonical_cells`] (timing
 //!   stripped).
+//! * [`CostModel`] ([`costs`]) — per-cell cost estimates learned from
+//!   prior journals and shard outputs (with a structural prior for
+//!   never-seen cells), persisted as `costs.json`. Drives LPT
+//!   longest-first ordering in the in-process executor and the
+//!   orchestrator's `--partition balanced` LPT bin-packing of cells
+//!   onto workers, replacing the blind `key % N` split — scheduling
+//!   only, never identity: canonical output stays byte-identical.
 //! * [`orchestrator`] — the fault-tolerant campaign supervisor behind
 //!   `sweep --orchestrate N`: journaled shard worker processes,
 //!   crash-restart under bounded exponential backoff, repeat-offender
@@ -80,6 +87,7 @@
 
 mod baseline;
 mod campaign;
+pub mod costs;
 pub mod errors;
 pub mod fault;
 mod grid;
@@ -95,6 +103,7 @@ mod trace_store;
 
 pub use baseline::BaselineStore;
 pub use campaign::{Campaign, CampaignResult, CampaignSummary, CellResult, TracePolicy};
+pub use costs::CostModel;
 pub use errors::{FileError, IoContext};
 pub use grid::{Cell, ExperimentGrid, ScenarioGrid};
 pub use journal::{merge_shards, IndexedCell, Journal, ShardOutput};
@@ -107,8 +116,8 @@ pub use progress::{
     WorkerSample,
 };
 pub use scheduler::{
-    plan_batches, BatchRunner, CellKey, ExecHooks, Executor, InProcessExecutor, PlannedCell,
-    ShardSpec, ShardedExecutor, TaskPlan,
+    plan_batches, BalancedExecutor, BatchRunner, CellKey, ExecHooks, Executor, InProcessExecutor,
+    PlannedCell, ShardSpec, ShardedExecutor, TaskPlan,
 };
 pub use telemetry::{CampaignTiming, Clock, MockClock, MonotonicClock, Phase, Telemetry};
 pub use trace_store::TraceStore;

@@ -65,6 +65,13 @@ pub struct OrchestratorConfig {
     pub dir: PathBuf,
     /// Suppress the fleet progress/supervision lines on stderr.
     pub quiet: bool,
+    /// Explicit per-worker cell assignment (plan indices, one `Vec` per
+    /// worker) replacing the default `key % N` partition — how
+    /// `--partition balanced` hands the cost model's LPT bin-packing to
+    /// the supervisor. Workers must compute the same assignment on
+    /// their side (same plan + same `costs.json`), since coverage
+    /// verification checks each shard output against its entry here.
+    pub assignments: Option<Vec<Vec<usize>>>,
 }
 
 impl OrchestratorConfig {
@@ -77,6 +84,7 @@ impl OrchestratorConfig {
             backoff_cap_ms: 5_000,
             dir: dir.into(),
             quiet: false,
+            assignments: None,
         }
     }
 }
@@ -151,6 +159,10 @@ pub struct WorkerReport {
     /// Cells recovered from this worker (verified output, or journal
     /// salvage for a failed worker).
     pub cells: usize,
+    /// Wall time this worker spent simulating cells, ns
+    /// (`timing.cells_ns` of its verified output; 0 when it never
+    /// completed). Feeds the manifest's imbalance ratio.
+    pub busy_ns: u64,
     /// The last failure observed, if any.
     pub last_error: Option<String>,
 }
@@ -171,6 +183,11 @@ pub struct CampaignManifest {
     pub completed_cells: usize,
     /// Restarts summed across workers.
     pub total_restarts: u32,
+    /// Max/mean of per-worker busy (cell-simulation) time across
+    /// workers with verified outputs. 1.0 is perfect balance; the blind
+    /// `key % N` partition typically lands well above it, `--partition
+    /// balanced` close to it.
+    pub imbalance_ratio: f64,
     /// Cells missing from the result, with attribution.
     pub quarantined: Vec<QuarantinedCell>,
     /// Per-worker supervision summaries.
@@ -306,7 +323,10 @@ pub fn run(
             Worker {
                 index: i,
                 shard,
-                assigned: ShardedExecutor::new(shard).assigned(plan),
+                assigned: match &cfg.assignments {
+                    Some(bins) => bins.get(i as usize).cloned().unwrap_or_default(),
+                    None => ShardedExecutor::new(shard).assigned(plan),
+                },
                 paths,
                 phase: Phase::Idle,
                 restarts: 0,
@@ -660,6 +680,24 @@ fn assemble(
 ) -> Result<OrchestrateOutcome, String> {
     let total_restarts: u32 = workers.iter().map(|w| w.restarts).sum();
     let manifest_path = cfg.dir.join("manifest.json");
+    // Partition-quality telemetry: how unevenly measured cell work
+    // landed across the fleet (verified outputs only — a failed worker
+    // has no trustworthy timing).
+    let busy: Vec<u64> = workers
+        .iter()
+        .filter_map(|w| match &w.phase {
+            Phase::Done(out) => Some(out.timing.cells_ns),
+            _ => None,
+        })
+        .collect();
+    let imbalance_ratio = crate::costs::imbalance_ratio(&busy);
+    if !cfg.quiet && busy.len() > 1 {
+        eprintln!(
+            "[orchestrate] shard busy-time imbalance: {imbalance_ratio:.3}× (max/mean over {} \
+             worker(s))",
+            busy.len()
+        );
+    }
     let all_clean = workers
         .iter()
         .all(|w| matches!(w.phase, Phase::Done(_)) && w.skip.is_empty());
@@ -680,6 +718,7 @@ fn assemble(
             total_cells: plan.len(),
             completed_cells: result.cells.len(),
             total_restarts,
+            imbalance_ratio,
             quarantined: Vec::new(),
             workers: reports,
         };
@@ -777,6 +816,7 @@ fn assemble(
         total_cells: plan.len(),
         completed_cells: result.cells.len(),
         total_restarts,
+        imbalance_ratio,
         quarantined,
         workers: reports,
     };
@@ -796,6 +836,10 @@ fn report_of(w: &Worker, completed: bool) -> WorkerReport {
         completed,
         cells: match &w.phase {
             Phase::Done(out) => out.cells.len(),
+            _ => 0,
+        },
+        busy_ns: match &w.phase {
+            Phase::Done(out) => out.timing.cells_ns,
             _ => 0,
         },
         last_error: w.last_error.clone(),

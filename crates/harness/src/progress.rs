@@ -190,6 +190,12 @@ pub struct ProgressReporter {
     last_emit_ns: Option<u64>,
     done: usize,
     cell_ns_sum: u64,
+    // Predicted cost of all cells to run (Some only when the campaign
+    // loaded a cost model) and of the cells completed so far — the ETA
+    // weights remaining work by cost instead of assuming every cell
+    // costs the running mean.
+    predicted_total_ns: Option<u64>,
+    predicted_done_ns: u64,
     // (design, completions, summed wall ns), sorted by design name.
     designs: Vec<(String, usize, u64)>,
 }
@@ -214,24 +220,42 @@ impl ProgressReporter {
             last_emit_ns: None,
             done: 0,
             cell_ns_sum: 0,
+            predicted_total_ns: None,
+            predicted_done_ns: 0,
             designs: Vec::new(),
         }
+    }
+
+    /// Loads the cost model's total predicted work for the cells to
+    /// run. With it, [`ProgressReporter::event`] weights the remaining
+    /// work by predicted cost (each [`ProgressReporter::on_cell`] then
+    /// supplies that cell's prediction) instead of assuming every
+    /// remaining cell costs the running mean — under LPT ordering the
+    /// tail is the cheap cells, and the running-mean ETA overshoots.
+    pub fn with_predicted_work(mut self, total_ns: u64) -> Self {
+        self.predicted_total_ns = Some(total_ns);
+        self
     }
 
     /// Records one completed cell and returns the line to emit, if this
     /// completion crosses the rate limit (the final cell always emits).
     /// `label` is the cell's [`Cell::describe`](crate::Cell) identity
-    /// (used by the per-cell mode), `design` its design display name.
+    /// (used by the per-cell mode), `design` its design display name,
+    /// `predicted_ns` the cost model's prediction for this cell (0 when
+    /// no model is loaded; only read after
+    /// [`ProgressReporter::with_predicted_work`]).
     pub fn on_cell(
         &mut self,
         now_ns: u64,
         design: &str,
         label: &str,
         wall_ns: u64,
+        predicted_ns: u64,
         counters: CounterSnapshot,
     ) -> Option<String> {
         self.done += 1;
         self.cell_ns_sum += wall_ns;
+        self.predicted_done_ns = self.predicted_done_ns.saturating_add(predicted_ns);
         match self.designs.iter_mut().find(|(d, _, _)| d == design) {
             Some((_, n, ns)) => {
                 *n += 1;
@@ -295,13 +319,27 @@ impl ProgressReporter {
     pub fn event(&self, now_ns: u64, counters: CounterSnapshot) -> ProgressEvent {
         let elapsed_ns = now_ns.saturating_sub(self.start_ns);
         let remaining = self.total.saturating_sub(self.done);
-        // ETA assumes the remaining cells cost the running mean and the
-        // pool keeps all workers busy: the pool drains them in
-        // ceil(remaining / threads) waves of one mean each. Flooring the
-        // division instead would underestimate the tail — 1 cell left on
-        // 4 threads takes ~one mean, not mean/4.
+        // ETA. With a cost model loaded, the remaining work is weighted
+        // by predicted cost, calibrated by the observed/predicted ratio
+        // so far (a mis-scaled prior still orders cells correctly but
+        // would skew absolute ETAs): under LPT ordering the remaining
+        // cells are the cheap ones, and pretending they cost the
+        // running mean overestimates the tail. Without a model, assume
+        // the remaining cells cost the running mean and the pool drains
+        // them in ceil(remaining / threads) waves of one mean each.
+        // Flooring the division instead would underestimate the tail —
+        // 1 cell left on 4 threads takes ~one mean, not mean/4.
         let eta_ns = if self.done == 0 {
             0
+        } else if let Some(total) = self.predicted_total_ns {
+            let remaining_pred = total.saturating_sub(self.predicted_done_ns);
+            let calibrated = if self.predicted_done_ns > 0 {
+                (remaining_pred as f64 * self.cell_ns_sum as f64 / self.predicted_done_ns as f64)
+                    as u64
+            } else {
+                remaining_pred
+            };
+            calibrated.div_ceil(self.threads as u64)
         } else {
             self.mean_cell_ns() * (remaining as u64).div_ceil(self.threads as u64)
         };
@@ -488,6 +526,7 @@ mod tests {
                 "Unison",
                 "Unison @ 512MB on Web Search",
                 250_000_000,
+                0,
                 counters(),
             )
             .expect("per-cell mode always emits");
@@ -500,7 +539,7 @@ mod tests {
     #[test]
     fn off_mode_emits_nothing_but_still_accumulates() {
         let mut r = ProgressReporter::new(ProgressConfig::off(), 1, 2, 0, 0);
-        assert!(r.on_cell(SEC, "Alloy", "x", 100, counters()).is_none());
+        assert!(r.on_cell(SEC, "Alloy", "x", 100, 0, counters()).is_none());
         assert_eq!(r.done(), 1);
         assert_eq!(r.mean_cell_ns(), 100);
     }
@@ -510,10 +549,10 @@ mod tests {
         let cfg = ProgressConfig::human(Some(10));
         let mut r = ProgressReporter::new(cfg, 4, 3, 2, 0);
         // 1 s in: under the 10 s interval, suppressed.
-        assert!(r.on_cell(SEC, "Unison", "a", SEC, counters()).is_none());
+        assert!(r.on_cell(SEC, "Unison", "a", SEC, 0, counters()).is_none());
         // 11 s in: interval crossed.
         let line = r
-            .on_cell(11 * SEC, "Alloy", "b", 3 * SEC, counters())
+            .on_cell(11 * SEC, "Alloy", "b", 3 * SEC, 0, counters())
             .expect("interval crossed");
         assert!(line.contains("2/3 cells"), "{line}");
         assert!(line.contains("2 resumed"), "{line}");
@@ -523,7 +562,7 @@ mod tests {
         assert!(line.contains("Unison 1×1.00s"), "{line}");
         // 12 s: inside the interval again, but it is the final cell.
         let last = r
-            .on_cell(12 * SEC, "Alloy", "c", SEC, counters())
+            .on_cell(12 * SEC, "Alloy", "c", SEC, 0, counters())
             .expect("final completion always emits");
         assert!(last.contains("3/3 cells"), "{last}");
     }
@@ -531,7 +570,7 @@ mod tests {
     #[test]
     fn eta_scales_with_threads_and_mean() {
         let mut r = ProgressReporter::new(ProgressConfig::human(None), 2, 5, 0, 0);
-        r.on_cell(SEC, "Unison", "a", 4 * SEC, CounterSnapshot::default());
+        r.on_cell(SEC, "Unison", "a", 4 * SEC, 0, CounterSnapshot::default());
         let e = r.event(SEC, CounterSnapshot::default());
         assert_eq!(e.mean_cell_ns, 4 * SEC);
         // 4 cells left × 4 s mean / 2 threads = 8 s.
@@ -554,6 +593,7 @@ mod tests {
             "Unison",
             "a",
             4 * SEC,
+            0,
             CounterSnapshot::default(),
         );
         let e = r.event(clock.now_ns(), CounterSnapshot::default());
@@ -568,10 +608,61 @@ mod tests {
             "Unison",
             "a",
             4 * SEC,
+            0,
             CounterSnapshot::default(),
         );
         let e = r.event(clock.now_ns(), CounterSnapshot::default());
         assert_eq!(e.eta_ns, 8 * SEC);
+    }
+
+    /// Under LPT the tail is cheap cells: with a cost model loaded the
+    /// ETA must weight remaining work by predicted cost, not claim
+    /// whole waves of the (expensive-cell-dominated) running mean.
+    #[test]
+    fn eta_weights_remaining_work_by_the_cost_model() {
+        use crate::telemetry::{Clock, MockClock};
+        let clock = MockClock::new(0);
+        let mut r = ProgressReporter::new(ProgressConfig::human(None), 1, 3, 0, clock.now_ns())
+            .with_predicted_work(6 * SEC);
+        clock.advance(4 * SEC);
+        // The 4 s cell (predicted 4 s) completes first; 2 s of cheap
+        // cells remain. The running-mean estimate would claim
+        // 2 waves × 4 s = 8 s.
+        r.on_cell(
+            clock.now_ns(),
+            "Unison",
+            "big",
+            4 * SEC,
+            4 * SEC,
+            CounterSnapshot::default(),
+        );
+        let e = r.event(clock.now_ns(), CounterSnapshot::default());
+        assert_eq!(e.eta_ns, 2 * SEC, "cost-weighted tail, not mean waves");
+        assert!(e.eta_ns < e.mean_cell_ns * 2, "beats the running-mean ETA");
+    }
+
+    /// A prior that mis-scales absolute cost (but orders cells right)
+    /// still yields a sane ETA: the observed/predicted ratio calibrates
+    /// the remaining predicted work.
+    #[test]
+    fn eta_calibrates_a_mis_scaled_prior() {
+        use crate::telemetry::{Clock, MockClock};
+        let clock = MockClock::new(0);
+        let mut r = ProgressReporter::new(ProgressConfig::human(None), 1, 3, 0, clock.now_ns())
+            .with_predicted_work(12 * SEC);
+        clock.advance(4 * SEC);
+        // Predicted 8 s, took 4 s: the model runs 2× hot. Remaining
+        // 4 s of predicted work should be reported as ~2 s.
+        r.on_cell(
+            clock.now_ns(),
+            "Unison",
+            "big",
+            4 * SEC,
+            8 * SEC,
+            CounterSnapshot::default(),
+        );
+        let e = r.event(clock.now_ns(), CounterSnapshot::default());
+        assert_eq!(e.eta_ns, 2 * SEC);
     }
 
     #[test]
@@ -579,7 +670,7 @@ mod tests {
         let cfg = ProgressConfig::json(Some(0));
         let mut r = ProgressReporter::new(cfg, 1, 1, 0, 0);
         let line = r
-            .on_cell(2 * SEC, "Ideal", "cell", SEC, counters())
+            .on_cell(2 * SEC, "Ideal", "cell", SEC, 0, counters())
             .expect("zero interval emits every completion");
         let v = serde_json::parse(&line).expect("valid JSON");
         let txt = serde_json::to_string(&v).unwrap();

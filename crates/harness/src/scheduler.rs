@@ -343,6 +343,14 @@ pub struct ExecHooks<'a> {
     /// Observes each completion, on the coordinating thread, in
     /// completion (not grid) order.
     pub observe: &'a mut dyn FnMut(&PlannedCell, &CellResult),
+    /// Predicted wall time (ns) per plan index, present when the
+    /// campaign has a [`CostModel`](crate::CostModel) loaded. Executors
+    /// schedule work longest-first (LPT) under it, so the most
+    /// expensive cell starts immediately and the pool's final wave
+    /// drains through cheap cells instead of stalling on a straggler.
+    /// Scheduling only: results are returned in plan order either way,
+    /// and canonical output stays byte-identical.
+    pub cost: Option<&'a [u64]>,
 }
 
 /// Groups `indices` (plan indices, ascending) into trace-sharing batches:
@@ -410,7 +418,19 @@ pub trait Executor {
             .collect();
         let observe = hooks.observe;
         if let Some(run_batch) = hooks.run_batch {
-            let batches = plan_batches(plan, &indices, hooks.threads);
+            let mut batches = plan_batches(plan, &indices, hooks.threads);
+            if let Some(cost) = hooks.cost {
+                // LPT over batches: heaviest predicted batch first, ties
+                // broken by first plan index for determinism. Grouping
+                // is unchanged — only the order batches enter the pool.
+                batches.sort_by_key(|b| {
+                    let total: u64 = b
+                        .iter()
+                        .map(|&i| cost.get(i).copied().unwrap_or(0))
+                        .fold(0, u64::saturating_add);
+                    (std::cmp::Reverse(total), b[0])
+                });
+            }
             let results: Vec<Vec<CellResult>> = pool::parallel_map_observed(
                 &batches,
                 hooks.threads,
@@ -453,6 +473,10 @@ pub trait Executor {
             out.sort_by_key(|(i, _)| *i);
             return out;
         }
+        let mut indices = indices;
+        if let Some(cost) = hooks.cost {
+            crate::costs::order_lpt(cost, &mut indices);
+        }
         let tasks: Vec<&PlannedCell> = indices.iter().map(|&i| &plan.cells[i]).collect();
         let run = hooks.run;
         let results = pool::parallel_map_observed(
@@ -462,7 +486,9 @@ pub trait Executor {
             &|pc| format!("{} [key={}]", pc.cell.describe(), pc.key.hex()),
             &mut |slot, r| observe(tasks[slot], r),
         );
-        indices.into_iter().zip(results).collect()
+        let mut out: Vec<(usize, CellResult)> = indices.into_iter().zip(results).collect();
+        out.sort_by_key(|(i, _)| *i);
+        out
     }
 }
 
@@ -518,6 +544,45 @@ impl Executor for ShardedExecutor {
 
     fn describe(&self) -> String {
         format!("shard {} (by cell key)", self.shard.display())
+    }
+}
+
+/// One shard of a cost-balanced partition: runs an explicit assignment
+/// (one bin of [`CostModel::partition`](crate::CostModel::partition))
+/// instead of the `key % N` hash split, while claiming the same shard
+/// coordinates — shard outputs verify and merge exactly like hashed
+/// ones, since coverage is always checked against the assignment.
+///
+/// The assignment is passed in rather than recomputed so the caller
+/// controls which cost model produced it; determinism across processes
+/// comes from parent and workers loading the same `costs.json`.
+#[derive(Debug, Clone)]
+pub struct BalancedExecutor {
+    shard: ShardSpec,
+    assigned: Vec<usize>,
+}
+
+impl BalancedExecutor {
+    /// Builds the executor for shard `shard` running exactly
+    /// `assigned` (plan indices, any order — execution normalizes).
+    pub fn new(shard: ShardSpec, assigned: Vec<usize>) -> Self {
+        BalancedExecutor { shard, assigned }
+    }
+}
+
+impl Executor for BalancedExecutor {
+    fn assigned(&self, _plan: &TaskPlan) -> Vec<usize> {
+        let mut a = self.assigned.clone();
+        a.sort_unstable();
+        a
+    }
+
+    fn shard(&self) -> (u32, u32) {
+        (self.shard.index, self.shard.count)
+    }
+
+    fn describe(&self) -> String {
+        format!("shard {} (cost-balanced)", self.shard.display())
     }
 }
 

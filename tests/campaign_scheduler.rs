@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 
 use unison_repro::harness::fault::{FAULT_ENV, FAULT_ONCE_ENV};
 use unison_repro::harness::{
-    merge_shards, orchestrator, Campaign, CellKey, CellResult, OrchestratorConfig, ScenarioGrid,
-    ShardOutput, ShardSpec, TaskPlan, WorkerLaunch,
+    merge_shards, orchestrator, BalancedExecutor, Campaign, CellKey, CellResult, CostModel,
+    OrchestratorConfig, ScenarioGrid, ShardOutput, ShardSpec, TaskPlan, WorkerLaunch,
 };
 use unison_repro::sim::{Design, Scenario, SimConfig, SystemSpec};
 use unison_repro::trace::workloads;
@@ -268,7 +268,23 @@ fn subprocess_worker_entry() {
             .collect();
         campaign = campaign.exclude(keys);
     }
-    let out = campaign.run_shard_speedups(&grid(), shard);
+    let out = if std::env::var("UNISON_TEST_PARTITION").as_deref() == Ok("balanced") {
+        // Like `sweep --shard I/N --partition balanced`: recompute the
+        // parent's deterministic LPT partition from the shared costs
+        // file and run exactly this worker's bin. If the recomputation
+        // diverged from the parent's assignment, the orchestrator's
+        // coverage verification would reject the output.
+        let model = match std::env::var("UNISON_TEST_COSTS") {
+            Ok(p) => CostModel::load(&PathBuf::from(p)).expect("costs file loads"),
+            Err(_) => CostModel::new(),
+        };
+        let plan = TaskPlan::lower(&tiny(), &grid(), true);
+        let bins = model.partition(&plan, tiny().accesses, shard.count);
+        let bin = bins[shard.index as usize].clone();
+        campaign.run_plan(&grid(), true, &BalancedExecutor::new(shard, bin))
+    } else {
+        campaign.run_shard_speedups(&grid(), shard)
+    };
     orchestrator::write_shard_output(&out_path, &out).expect("write shard output");
     // Exit before libtest prints its summary: the orchestrator reads the
     // exit status and the output file, nothing else.
@@ -276,9 +292,11 @@ fn subprocess_worker_entry() {
 }
 
 /// The launch closure the orchestrator tests share: re-enter this test
-/// binary as the worker, layering per-worker fault env vars on top.
-fn test_launcher(
+/// binary as the worker, layering shared env vars (e.g. the balanced
+/// partition steering) and per-worker fault env vars on top.
+fn test_launcher_with(
     faults: HashMap<u32, Vec<(String, String)>>,
+    shared: Vec<(String, String)>,
 ) -> impl Fn(&WorkerLaunch<'_>) -> Command {
     move |l| {
         let mut cmd = Command::new(std::env::current_exe().expect("test binary path"));
@@ -290,11 +308,20 @@ fn test_launcher(
             .env("UNISON_TEST_SKIP", l.skip.join(","))
             .env_remove(FAULT_ENV)
             .env_remove(FAULT_ONCE_ENV);
+        for (k, v) in &shared {
+            cmd.env(k, v);
+        }
         for (k, v) in faults.get(&l.worker).into_iter().flatten() {
             cmd.env(k, v);
         }
         cmd
     }
+}
+
+fn test_launcher(
+    faults: HashMap<u32, Vec<(String, String)>>,
+) -> impl Fn(&WorkerLaunch<'_>) -> Command {
+    test_launcher_with(faults, Vec::new())
 }
 
 fn canonical_json(cells: &[CellResult]) -> String {
@@ -368,6 +395,114 @@ fn orchestrated_run_with_two_injected_crashes_is_bit_identical() {
         canonical_json(&uninterrupted.canonical_cells()),
         "orchestrated campaign with two injected crashes diverged from the \
          uninterrupted single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn balanced_partition_orchestrated_run_is_bit_identical() {
+    let g = grid();
+    let uninterrupted = Campaign::new(tiny()).threads(4).run_speedups(&g);
+    let plan = TaskPlan::lower(&tiny(), &g, true);
+
+    // Learn real costs from the uninterrupted run, like the sweep parent
+    // folding a finished campaign's wall times back into costs.json.
+    let mut model = CostModel::new();
+    for cell in uninterrupted.cells() {
+        model.observe(cell);
+    }
+    let dir = scratch("orchestrate-balanced");
+    let costs_path = dir.join("costs.json");
+    model.save(&costs_path).expect("costs save");
+
+    let assignments = model.partition(&plan, tiny().accesses, 2);
+    assert!(
+        assignments.len() == 2 && assignments.iter().all(|b| !b.is_empty()),
+        "LPT over 16 cells must give both workers work: {assignments:?}"
+    );
+    let mut cfg = test_orchestrator_config(2, dir.join("scratch"));
+    cfg.assignments = Some(assignments);
+    let shared = vec![
+        ("UNISON_TEST_PARTITION".to_string(), "balanced".to_string()),
+        (
+            "UNISON_TEST_COSTS".to_string(),
+            costs_path.display().to_string(),
+        ),
+    ];
+    // The workers independently recompute the partition from the costs
+    // file; any divergence from cfg.assignments fails coverage
+    // verification, so completing at all pins cross-process determinism.
+    let outcome = orchestrator::run(&plan, &cfg, &test_launcher_with(HashMap::new(), shared))
+        .expect("orchestrator runs");
+    assert!(
+        outcome.is_complete(),
+        "balanced partition must verify and merge: {:?}",
+        outcome.manifest
+    );
+    assert_eq!(outcome.manifest.total_restarts, 0);
+    assert!(
+        outcome.manifest.imbalance_ratio >= 1.0,
+        "two busy workers must yield a measured imbalance ratio, got {}",
+        outcome.manifest.imbalance_ratio
+    );
+    assert_eq!(
+        canonical_json(&outcome.result.canonical_cells()),
+        canonical_json(&uninterrupted.canonical_cells()),
+        "balanced-partition orchestrated campaign diverged from the \
+         single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn balanced_partition_survives_an_injected_crash_bit_identically() {
+    let g = grid();
+    let uninterrupted = Campaign::new(tiny()).threads(4).run_speedups(&g);
+    let plan = TaskPlan::lower(&tiny(), &g, true);
+
+    let dir = scratch("orchestrate-balanced-crash");
+    let costs_path = dir.join("costs.json");
+    // Prior-only model: a first-ever balanced campaign, before any
+    // learned costs exist.
+    let model = CostModel::new();
+    model.save(&costs_path).expect("costs save");
+
+    let marker = dir.join("marker-w0");
+    let faults = HashMap::from([(
+        0u32,
+        vec![
+            (FAULT_ENV.to_string(), "crash-after-cells:1".to_string()),
+            (FAULT_ONCE_ENV.to_string(), marker.display().to_string()),
+        ],
+    )]);
+    let mut cfg = test_orchestrator_config(2, dir.join("scratch"));
+    cfg.assignments = Some(model.partition(&plan, tiny().accesses, 2));
+    let shared = vec![
+        ("UNISON_TEST_PARTITION".to_string(), "balanced".to_string()),
+        (
+            "UNISON_TEST_COSTS".to_string(),
+            costs_path.display().to_string(),
+        ),
+    ];
+    let outcome = orchestrator::run(&plan, &cfg, &test_launcher_with(faults, shared))
+        .expect("orchestrator runs");
+
+    assert!(marker.exists(), "crash-after-cells fault must have fired");
+    assert!(
+        outcome.is_complete(),
+        "crashed balanced worker must restart into the same bin: {:?}",
+        outcome.manifest
+    );
+    assert_eq!(outcome.manifest.total_restarts, 1);
+    assert_eq!(
+        outcome.result.resumed_cells, 1,
+        "the restarted worker restores its one durable cell from its journal"
+    );
+    assert_eq!(
+        canonical_json(&outcome.result.canonical_cells()),
+        canonical_json(&uninterrupted.canonical_cells()),
+        "balanced-partition campaign with an injected crash diverged from \
+         the uninterrupted single-process run"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
