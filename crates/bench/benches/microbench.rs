@@ -8,7 +8,7 @@ use unison_core::{
     AlloyCache, AlloyConfig, DramCacheModel, FootprintCache, FootprintConfig, MemPorts, MetaStore,
     PageMeta, Replacement, Request, UnisonCache, UnisonConfig,
 };
-use unison_dram::{DramConfig, DramModel, Op, RowCol};
+use unison_dram::{DramConfig, DramModel, Location, Op, RouteMap, RowCol};
 use unison_predictors::{Footprint, FootprintTable, MissPredictor, WayPredictor};
 use unison_trace::{workloads, TraceArtifact, WorkloadGen};
 
@@ -244,6 +244,79 @@ fn bench_dram(c: &mut Criterion) {
     g.finish();
 }
 
+/// The table-driven DRAM access fast path against the retained
+/// div/mod + multiply reference, on the routing walk alone and on full
+/// accesses in the two regimes that matter: pure row hits (the campaign
+/// common case the tables optimize for) and a row-conflict mix (the
+/// ACT/PRE slow path). The nightly equivalence assertion
+/// (`fast_access_beats_reference_on_row_hits` in
+/// `crates/dram/tests/model_properties.rs`) pins the row-hit win ≥1.15×.
+fn bench_dram_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_access");
+    g.throughput(Throughput::Elements(1));
+
+    // Routing alone: shift/mask RouteMap vs div/mod Location::route.
+    // black_box the config so the reference's divisors stay runtime
+    // values, as they are in campaign use.
+    let cfg = black_box(DramConfig::stacked());
+    let map = RouteMap::try_new(&cfg).expect("stacked geometry is pow2");
+    g.bench_function("route_fast", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(map.flat(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 20))
+        });
+    });
+    g.bench_function("route_reference", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let loc = Location::route(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 20, &cfg);
+            black_box((
+                loc.channel as usize,
+                loc.flat_rank(&cfg),
+                loc.flat_bank(&cfg),
+            ))
+        });
+    });
+
+    // Full accesses. Stacked has 32 banks total: cycling 32 rows keeps
+    // every row open (pure hits); cycling 64 rows makes every bank
+    // alternate between two rows (pure conflicts).
+    let banks = u64::from(cfg.total_banks());
+    for (label, rows) in [("row_hit", banks), ("conflict", banks * 2)] {
+        g.bench_function(&format!("access_{label}_fast"), |b| {
+            let mut d = DramModel::new(cfg.clone());
+            let (mut now, mut i) = (0u64, 0u64);
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                now += 2_500;
+                black_box(d.access(
+                    now,
+                    Op::Read,
+                    RowCol::new(i % rows, ((i * 64) % 8192) as u32),
+                    64,
+                ))
+            });
+        });
+        g.bench_function(&format!("access_{label}_reference"), |b| {
+            let mut d = DramModel::new(cfg.clone());
+            let (mut now, mut i) = (0u64, 0u64);
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                now += 2_500;
+                black_box(d.access_reference(
+                    now,
+                    Op::Read,
+                    RowCol::new(i % rows, ((i * 64) % 8192) as u32),
+                    64,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_caches(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache_access");
     g.throughput(Throughput::Elements(1));
@@ -327,6 +400,6 @@ fn bench_tracegen(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_meta, bench_meta_simd, bench_predictors, bench_dram, bench_caches, bench_tracegen
+    targets = bench_meta, bench_meta_simd, bench_predictors, bench_dram, bench_dram_access, bench_caches, bench_tracegen
 }
 criterion_main!(benches);

@@ -56,8 +56,12 @@ use unison_trace::{workloads, TraceArtifact, WorkloadGen};
 /// longest cells first) instead of grid order — timing fields are not
 /// comparable with v2 snapshots — and the new `campaign.scheduling`
 /// block records how the measured cell costs would split across shard
-/// workers (blind key-hash vs balanced LPT partition).
-const SCHEMA_VERSION: u32 = 3;
+/// workers (blind key-hash vs balanced LPT partition). v4: new
+/// `microbench.calibration_ns` machine-speed reference (a fixed-work
+/// integer loop, independent of any simulator code); snapshots whose
+/// calibrations differ by more than ~10% ran on differently-clocked
+/// machines and their wall-clock deltas are not comparable.
+const SCHEMA_VERSION: u32 = 4;
 
 /// The complete report document (`BENCH_<label>.json`).
 #[derive(Debug, Serialize)]
@@ -89,6 +93,32 @@ struct Microbench {
     replay_ns_per_record: f64,
     /// Generating one record from scratch (what replay amortizes away).
     generate_ns_per_record: f64,
+    /// Machine-speed calibration: wall time of a fixed-work serial
+    /// integer loop that never changes with the codebase. Two snapshots
+    /// are speed-comparable only when their calibrations agree (±10%) —
+    /// the v8→v9 probe "regression" was a slower machine, and this field
+    /// is what tells that apart from a real one.
+    calibration_ns: f64,
+}
+
+/// The calibration loop: a serial dependent chain of integer ops (mul,
+/// rotate, xor) long enough to settle (~10 ms class), run three times
+/// taking the best, so one descheduling blip doesn't skew it. The work
+/// is fixed forever — changing it invalidates cross-snapshot
+/// comparisons and requires a schema bump.
+fn bench_calibration() -> f64 {
+    const ITERS: u64 = 16_000_000;
+    let mut best = f64::INFINITY;
+    for round in 0..3u64 {
+        let start = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64.wrapping_add(round);
+        for i in 0..ITERS {
+            x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(23) ^ i;
+        }
+        black_box(x);
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
 }
 
 /// Telemetry of the headline campaign.
@@ -393,6 +423,7 @@ fn main() {
         probe_ns_per_op: bench_probe(opts.quick),
         replay_ns_per_record: bench_replay(opts.quick),
         generate_ns_per_record: bench_generate(opts.quick),
+        calibration_ns: bench_calibration(),
     };
     println!("  meta probe+touch   {:>10.1} ns/op", micro.probe_ns_per_op);
     println!(
@@ -403,6 +434,10 @@ fn main() {
         "  workload generate  {:>10.1} ns/record ({:.1}x replay)",
         micro.generate_ns_per_record,
         micro.generate_ns_per_record / micro.replay_ns_per_record.max(1e-9)
+    );
+    println!(
+        "  machine calibration{:>10.1} ms (fixed-work loop)",
+        micro.calibration_ns / 1e6
     );
     println!();
 
@@ -462,6 +497,26 @@ fn main() {
     if let Some((prev_path, prev)) = previous_snapshot(&out, &report.label) {
         println!();
         println!("deltas vs {}:", prev_path.display());
+        // Machine-speed guard: when the fixed-work calibrations disagree
+        // by more than 10%, the wall-clock deltas below mostly measure
+        // the machine, not the code.
+        match num(&prev, &["microbench", "calibration_ns"]) {
+            Some(prev_cal) if prev_cal > 0.0 => {
+                let drift = (report.microbench.calibration_ns - prev_cal) / prev_cal;
+                if drift.abs() > 0.10 {
+                    println!(
+                        "  WARNING: machine calibration drifted {:+.1}% vs the previous \
+                         snapshot ({:.1} ms -> {:.1} ms); wall-clock deltas below reflect \
+                         machine speed, not code changes",
+                        drift * 100.0,
+                        prev_cal / 1e6,
+                        report.microbench.calibration_ns / 1e6,
+                    );
+                }
+            }
+            // Pre-v4 snapshots carry no calibration; nothing to compare.
+            _ => println!("  (previous snapshot has no machine calibration; treat deltas as same-machine only if known)"),
+        }
         print_delta(
             "meta probe ns/op",
             num(&prev, &["microbench", "probe_ns_per_op"]),

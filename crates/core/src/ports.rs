@@ -7,6 +7,12 @@ use unison_dram::{DramConfig, DramModel};
 /// Sharing one `MemPorts` across a simulation makes bandwidth contention,
 /// row-buffer state, and energy accounting uniform across designs — the
 /// same substrate DRAMSim2 provides in the paper's setup.
+///
+/// Construction is where each device's per-access fast paths are
+/// precomputed: [`DramModel::new`] builds the shift/mask routing map and
+/// premultiplied timing tables once here (both Table III geometries are
+/// power-of-two), so every access a design issues through these ports
+/// takes the table-driven path with no per-call setup.
 #[derive(Debug, Clone)]
 pub struct MemPorts {
     /// The die-stacked cache DRAM (Table III "Stacked DRAM").

@@ -67,6 +67,10 @@ impl Location {
     /// requests while keeping each whole row (and thus each cache set, and
     /// each footprint transferred from main memory) inside one bank — the
     /// property the paper's energy argument (§V.D) relies on.
+    ///
+    /// This div/mod form is the routing *reference*: it works for any
+    /// geometry and is what [`RouteMap`] — the shift/mask fast path every
+    /// power-of-two preset actually runs — is property-raced against.
     pub fn route(row: u64, cfg: &DramConfig) -> Self {
         let ch = (row % u64::from(cfg.channels)) as u32;
         let rest = row / u64::from(cfg.channels);
@@ -90,6 +94,116 @@ impl Location {
     /// Flat index of this location's rank across the whole device.
     pub fn flat_rank(&self, cfg: &DramConfig) -> usize {
         (self.channel * cfg.ranks + self.rank) as usize
+    }
+}
+
+/// The flat indices one DRAM access actually needs: the channel (for the
+/// data bus), the device-wide rank slot (for `tRRD`/`tFAW`/`tWTR` state),
+/// and the device-wide bank slot (for row-buffer state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatRoute {
+    /// Channel index, `< channels`.
+    pub channel: usize,
+    /// `Location::flat_rank` equivalent: `channel * ranks + rank`.
+    pub rank: usize,
+    /// `Location::flat_bank` equivalent:
+    /// `(channel * ranks + rank) * banks + bank`.
+    pub bank: usize,
+}
+
+/// Precomputed shift/mask routing for power-of-two geometries.
+///
+/// [`Location::route`] pays three hardware div/mod pairs per call and
+/// [`RowCol::from_phys_addr`] a fourth — per *simulated access*, on the
+/// innermost path of every campaign cell. Every preset geometry
+/// (`stacked` 4/1/8/8192, `ddr3-1600` 1/2/8/8192, `ddr4-2400`, and the
+/// 2x/half variants) has power-of-two channels/ranks/banks/row-bytes, so
+/// [`DramModel::new`](crate::DramModel::new) builds one of these and the
+/// whole walk collapses to shifts and ANDs. Non-pow2 geometries get
+/// `None` from [`RouteMap::try_new`] and keep the div/mod reference.
+///
+/// Bit-identity with the reference is pinned by
+/// `crates/dram/tests/model_properties.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteMap {
+    ch_bits: u32,
+    ch_mask: u64,
+    bank_bits: u32,
+    bank_mask: u64,
+    rank_bits: u32,
+    rank_mask: u64,
+    row_shift: u32,
+    col_mask: u64,
+}
+
+impl RouteMap {
+    /// Builds the shift/mask tables, or `None` when any of channels,
+    /// ranks, banks, or row-bytes is not a power of two.
+    pub fn try_new(cfg: &DramConfig) -> Option<Self> {
+        let pow2 = cfg.channels.is_power_of_two()
+            && cfg.ranks.is_power_of_two()
+            && cfg.banks.is_power_of_two()
+            && cfg.row_bytes.is_power_of_two();
+        if !pow2 {
+            return None;
+        }
+        Some(RouteMap {
+            ch_bits: cfg.channels.trailing_zeros(),
+            ch_mask: u64::from(cfg.channels - 1),
+            bank_bits: cfg.banks.trailing_zeros(),
+            bank_mask: u64::from(cfg.banks - 1),
+            rank_bits: cfg.ranks.trailing_zeros(),
+            rank_mask: u64::from(cfg.ranks - 1),
+            row_shift: cfg.row_bytes.trailing_zeros(),
+            col_mask: u64::from(cfg.row_bytes - 1),
+        })
+    }
+
+    /// [`Location::route`], as shifts and masks. Bit-identical for any
+    /// geometry this map was built for.
+    #[inline]
+    pub fn route(&self, row: u64) -> Location {
+        let channel = (row & self.ch_mask) as u32;
+        let rest = row >> self.ch_bits;
+        let bank = (rest & self.bank_mask) as u32;
+        let rest = rest >> self.bank_bits;
+        let rank = (rest & self.rank_mask) as u32;
+        let bank_row = rest >> self.rank_bits;
+        Location {
+            channel,
+            rank,
+            bank,
+            bank_row,
+        }
+    }
+
+    /// Routes straight to the flat state indices the timing engine
+    /// indexes with — channel, `flat_rank`, `flat_bank` — without
+    /// materializing a [`Location`] or re-multiplying the geometry.
+    #[inline]
+    pub fn flat(&self, row: u64) -> FlatRoute {
+        let channel = row & self.ch_mask;
+        let rest = row >> self.ch_bits;
+        let bank = rest & self.bank_mask;
+        let rank = (rest >> self.bank_bits) & self.rank_mask;
+        // (channel * ranks + rank) * banks + bank, with pow2 multipliers
+        // folded into shifts.
+        let flat_rank = (channel << self.rank_bits) | rank;
+        let flat_bank = (flat_rank << self.bank_bits) | bank;
+        FlatRoute {
+            channel: channel as usize,
+            rank: flat_rank as usize,
+            bank: flat_bank as usize,
+        }
+    }
+
+    /// [`RowCol::from_phys_addr`], as a shift and an AND.
+    #[inline]
+    pub fn row_col(&self, addr: u64) -> RowCol {
+        RowCol {
+            row: addr >> self.row_shift,
+            col_byte: (addr & self.col_mask) as u32,
+        }
     }
 }
 
@@ -132,5 +246,51 @@ mod tests {
         let rc = RowCol::from_phys_addr(8192 * 10 + 4095, 8192);
         assert_eq!(rc.row, 10);
         assert_eq!(rc.col_byte, 4095);
+    }
+
+    #[test]
+    fn route_map_matches_reference_on_pow2_geometries() {
+        for cfg in [DramConfig::stacked(), DramConfig::ddr3_1600()] {
+            let map = RouteMap::try_new(&cfg).expect("preset geometry is pow2");
+            for row in (0..4096).chain([u64::MAX >> 14, 123_456_789]) {
+                let reference = Location::route(row, &cfg);
+                assert_eq!(map.route(row), reference, "{} row {row}", cfg.name);
+                let flat = map.flat(row);
+                assert_eq!(flat.channel, reference.channel as usize);
+                assert_eq!(flat.rank, reference.flat_rank(&cfg));
+                assert_eq!(flat.bank, reference.flat_bank(&cfg));
+            }
+            for addr in [0u64, 63, 8191, 8192, 8192 * 10 + 4095, 1 << 40] {
+                assert_eq!(
+                    map.row_col(addr),
+                    RowCol::from_phys_addr(addr, cfg.row_bytes)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_map_rejects_non_pow2_geometry() {
+        let mut cfg = DramConfig::stacked();
+        cfg.channels = 3;
+        assert_eq!(RouteMap::try_new(&cfg), None);
+        let mut cfg = DramConfig::stacked();
+        cfg.banks = 5;
+        assert_eq!(RouteMap::try_new(&cfg), None);
+        let mut cfg = DramConfig::stacked();
+        cfg.row_bytes = 6144;
+        assert_eq!(RouteMap::try_new(&cfg), None);
+        assert!(RouteMap::try_new(&DramConfig::stacked()).is_some());
+    }
+
+    #[test]
+    fn single_channel_single_rank_degenerates_cleanly() {
+        // channels = 1 means 0 shift bits and a zero mask: `row & 0 == 0`
+        // must equal `row % 1` and `row >> 0` equal `row / 1`.
+        let cfg = DramConfig::ddr3_1600(); // 1 channel, 2 ranks
+        let map = RouteMap::try_new(&cfg).unwrap();
+        let loc = map.route(12345);
+        assert_eq!(loc, Location::route(12345, &cfg));
+        assert_eq!(loc.channel, 0);
     }
 }

@@ -34,6 +34,12 @@ impl BankState {
     }
 
     /// True if `row` is latched in the row buffer.
+    ///
+    /// This is the row-hit fast-path test: when it holds, an access needs
+    /// only `earliest_cas` from this state — none of the ACT/PRE horizons
+    /// are read or written, which is what keeps the common case in
+    /// `DramModel::access` branch-minimal.
+    #[inline]
     pub fn is_open(&self, row: u64) -> bool {
         self.open_row == Some(row)
     }

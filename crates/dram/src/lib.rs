@@ -45,7 +45,7 @@ mod energy;
 mod model;
 mod time;
 
-pub use address::{Location, RowCol};
+pub use address::{FlatRoute, Location, RouteMap, RowCol};
 pub use bank::BankState;
 pub use config::{DramConfig, DramPreset, EnergyParams, Timings};
 pub use energy::{EnergyBreakdown, EnergyCounters};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::address::{Location, RowCol};
+use crate::address::{FlatRoute, Location, RouteMap, RowCol};
 use crate::bank::BankState;
 use crate::config::DramConfig;
 use crate::energy::EnergyCounters;
@@ -55,6 +55,93 @@ pub struct DramStats {
     pub bus_busy_ps: Ps,
 }
 
+/// Per-device timing constants with the clock multiply already paid.
+///
+/// `DramModel::access` historically converted every constraint from
+/// device clocks to picoseconds with a `u64` multiply per use, plus a
+/// `div_ceil` per burst — on the innermost per-access path. This table
+/// premultiplies each `t_*` by `clock_ps` once at construction and
+/// tabulates burst durations by beat count, so the row-hit fast path
+/// performs zero multiplications and zero divisions.
+///
+/// All values are exact (`clocks_to_ps`/`burst_ps` applied eagerly), so
+/// table-driven timing is bit-identical to the retained reference — the
+/// property `crates/dram/tests/model_properties.rs` races.
+#[derive(Debug, Clone)]
+struct TimingTable {
+    cas_ps: Ps,
+    cwd_ps: Ps,
+    rp_ps: Ps,
+    rcd_ps: Ps,
+    rc_ps: Ps,
+    ras_ps: Ps,
+    wr_ps: Ps,
+    wtr_ps: Ps,
+    rtp_ps: Ps,
+    rrd_ps: Ps,
+    faw_ps: Ps,
+    /// `clock_ps.div_ceil(2)` — the first-beat arrival offset.
+    half_clock_ps: Ps,
+    /// Shift turning bytes into a beat index when bytes-per-beat is a
+    /// power of two (true for every preset bus width); `None` falls back
+    /// to [`DramConfig::burst_ps`].
+    beat_shift: Option<u32>,
+    /// `burst_ps` by beat count, covering `0..=row_bytes / beat_bytes`
+    /// beats — every burst size a row-bounded access can issue (the
+    /// designs use 32 B metadata, 64 B blocks, and up-to-row-sized
+    /// footprint/page transfers).
+    burst_by_beats: Vec<Ps>,
+}
+
+impl TimingTable {
+    fn new(cfg: &DramConfig) -> Self {
+        let t = cfg.timings;
+        let beat_bytes = cfg.bus_bits / 8;
+        let (beat_shift, burst_by_beats) = if beat_bytes > 0 && beat_bytes.is_power_of_two() {
+            let max_beats = cfg.row_bytes.div_ceil(beat_bytes) as u64;
+            let lut = (0..=max_beats)
+                .map(|beats| (beats * cfg.clock_ps()).div_ceil(2))
+                .collect();
+            (Some(beat_bytes.trailing_zeros()), lut)
+        } else {
+            (None, Vec::new())
+        };
+        TimingTable {
+            cas_ps: cfg.clocks_to_ps(t.t_cas),
+            cwd_ps: cfg.clocks_to_ps(t.t_cwd),
+            rp_ps: cfg.clocks_to_ps(t.t_rp),
+            rcd_ps: cfg.clocks_to_ps(t.t_rcd),
+            rc_ps: cfg.clocks_to_ps(t.t_rc),
+            ras_ps: cfg.clocks_to_ps(t.t_ras),
+            wr_ps: cfg.clocks_to_ps(t.t_wr),
+            wtr_ps: cfg.clocks_to_ps(t.t_wtr),
+            rtp_ps: cfg.clocks_to_ps(t.t_rtp),
+            rrd_ps: cfg.clocks_to_ps(t.t_rrd),
+            faw_ps: cfg.clocks_to_ps(t.t_faw),
+            half_clock_ps: cfg.clock_ps().div_ceil(2),
+            beat_shift,
+            burst_by_beats,
+        }
+    }
+
+    /// Tabulated [`DramConfig::burst_ps`]: one shift-add and a load.
+    #[inline]
+    fn burst(&self, bytes: u32, cfg: &DramConfig) -> Ps {
+        match self.beat_shift {
+            Some(shift) => {
+                let beats = ((bytes as usize) + ((1usize << shift) - 1)) >> shift;
+                match self.burst_by_beats.get(beats) {
+                    Some(&ps) => ps,
+                    // Row-crossing bursts are debug-asserted away in
+                    // `access`; compute rather than index out of bounds.
+                    None => cfg.burst_ps(bytes),
+                }
+            }
+            None => cfg.burst_ps(bytes),
+        }
+    }
+}
+
 /// A single DRAM device (stacked cache DRAM or off-chip main memory).
 ///
 /// See the [crate docs](crate) for the modelling approach. Accesses should
@@ -63,9 +150,19 @@ pub struct DramStats {
 /// still charged in the future) are tolerated — the max-based timing
 /// horizons make such accesses queue behind the already-charged work,
 /// which is the causally conservative direction.
+///
+/// Construction precomputes two fast-path tables: a [`RouteMap`]
+/// (shift/mask routing, present whenever the geometry is power-of-two —
+/// true for every preset) and a [`TimingTable`] (clock multiplies and
+/// burst `div_ceil`s paid once). [`Self::access`] runs on those tables;
+/// [`Self::access_reference`] retains the original div/mod + multiply
+/// path, both as the non-pow2 routing fallback and as the executable
+/// reference the property suite races bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     cfg: DramConfig,
+    route: Option<RouteMap>,
+    timing: TimingTable,
     banks: Vec<BankState>,
     /// Per-channel data bus busy-until horizon.
     bus_free: Vec<Ps>,
@@ -81,7 +178,6 @@ pub struct DramModel {
     rank_wtr_ready: Vec<Ps>,
     counters: EnergyCounters,
     stats: DramStats,
-    last_now: Ps,
 }
 
 impl DramModel {
@@ -90,8 +186,11 @@ impl DramModel {
         let n_banks = cfg.total_banks() as usize;
         let n_ranks = (cfg.channels * cfg.ranks) as usize;
         let n_ch = cfg.channels as usize;
+        let route = RouteMap::try_new(&cfg);
+        let timing = TimingTable::new(&cfg);
         DramModel {
-            cfg,
+            route,
+            timing,
             banks: vec![BankState::new(); n_banks],
             bus_free: vec![0; n_ch],
             rank_last_act: vec![0; n_ranks],
@@ -101,7 +200,30 @@ impl DramModel {
             rank_wtr_ready: vec![0; n_ranks],
             counters: EnergyCounters::default(),
             stats: DramStats::default(),
-            last_now: 0,
+            cfg,
+        }
+    }
+
+    /// True when this device routes through the precomputed shift/mask
+    /// [`RouteMap`] (power-of-two geometry — every preset qualifies).
+    pub fn has_fast_route(&self) -> bool {
+        self.route.is_some()
+    }
+
+    /// Routes `row` to its flat state indices: shift/mask when the
+    /// geometry allows, the div/mod reference otherwise.
+    #[inline]
+    fn flat_route(&self, row: u64) -> FlatRoute {
+        match self.route {
+            Some(map) => map.flat(row),
+            None => {
+                let loc = Location::route(row, &self.cfg);
+                FlatRoute {
+                    channel: loc.channel as usize,
+                    rank: loc.flat_rank(&self.cfg),
+                    bank: loc.flat_bank(&self.cfg),
+                }
+            }
         }
     }
 
@@ -130,8 +252,11 @@ impl DramModel {
     /// Earliest time the data bus of the channel serving `row` frees up.
     /// Useful for callers modelling controller-queue backpressure.
     pub fn channel_free_at(&self, row: u64) -> Ps {
-        let loc = Location::route(row, &self.cfg);
-        self.bus_free[loc.channel as usize]
+        let ch = match self.route {
+            Some(map) => map.flat(row).channel,
+            None => Location::route(row, &self.cfg).channel as usize,
+        };
+        self.bus_free[ch]
     }
 
     /// Performs one column access of `bytes` at `rc`, arriving at `now`.
@@ -139,6 +264,15 @@ impl DramModel {
     /// Returns the full timing. All inter-command constraints are enforced
     /// against the device state left behind by earlier accesses; the
     /// device state advances to reflect this access.
+    ///
+    /// This is the **table-driven fast path**: routing is shifts and
+    /// masks (via the precomputed [`RouteMap`]), every timing constraint
+    /// is a premultiplied picosecond constant, and burst durations come
+    /// from a per-beat-count lookup table. The common case — a row hit —
+    /// runs straight through without touching the ACT/PRE/`tFAW` machinery
+    /// in [`Self::activate`]. Bit-identical to [`Self::access_reference`]
+    /// (pinned by `crates/dram/tests/model_properties.rs` across presets,
+    /// both ops, and non-pow2 fallback geometry).
     ///
     /// # Panics
     ///
@@ -148,8 +282,148 @@ impl DramModel {
             rc.col_byte + bytes <= self.cfg.row_bytes,
             "access must not cross a row boundary"
         );
-        self.last_now = self.last_now.max(now);
+        let FlatRoute {
+            channel: ch,
+            rank: rank_idx,
+            bank: bank_idx,
+        } = self.flat_route(rc.row);
+        let is_read = op == Op::Read;
 
+        // Row-hit fast path: one bank-state load, one compare, one max —
+        // none of the activation state is touched.
+        let bank = self.banks[bank_idx];
+        let row_hit = bank.is_open(rc.row);
+        let (mut cas_ready, activated, conflict) = if row_hit {
+            (now.max(bank.earliest_cas), false, false)
+        } else {
+            let (ready, conflict) = self.activate(now, rc.row, bank_idx, rank_idx);
+            (ready, true, conflict)
+        };
+
+        // Write-to-read turnaround within the rank.
+        if is_read {
+            cas_ready = cas_ready.max(self.rank_wtr_ready[rank_idx]);
+        }
+
+        let t = &self.timing;
+        let cmd_to_data = if is_read { t.cas_ps } else { t.cwd_ps };
+        let burst = t.burst(bytes, &self.cfg);
+        let (rtp_ps, wr_ps, ras_ps, wtr_ps, half_clock_ps) =
+            (t.rtp_ps, t.wr_ps, t.ras_ps, t.wtr_ps, t.half_clock_ps);
+        // The data burst needs the channel bus; if the bus is still busy,
+        // the column command slides later.
+        let data_start = (cas_ready + cmd_to_data).max(self.bus_free[ch]);
+        let cas_at = data_start - cmd_to_data;
+        let data_end = data_start + burst;
+        self.bus_free[ch] = data_end;
+
+        // Bank horizons left behind for the next access.
+        {
+            let b = &mut self.banks[bank_idx];
+            // Approximates tCCD with the burst occupancy of this access.
+            b.earliest_cas = b.earliest_cas.max(cas_at + burst);
+            let pre_after = if is_read {
+                cas_at + rtp_ps
+            } else {
+                data_end + wr_ps
+            };
+            b.earliest_pre = b.earliest_pre.max(b.act_at + ras_ps).max(pre_after);
+        }
+        if !is_read {
+            self.rank_wtr_ready[rank_idx] = data_end + wtr_ps;
+        }
+
+        // Statistics and energy; the hit/empty/conflict classification is
+        // branchless (the three counts are disjoint indicator sums).
+        if is_read {
+            self.stats.reads += 1;
+            self.counters.read_cmds += 1;
+            self.counters.bytes_read += u64::from(bytes);
+        } else {
+            self.stats.writes += 1;
+            self.counters.write_cmds += 1;
+            self.counters.bytes_written += u64::from(bytes);
+        }
+        self.stats.row_hits += u64::from(row_hit);
+        self.stats.row_conflicts += u64::from(conflict);
+        self.stats.row_empty += u64::from(!row_hit && !conflict);
+        self.counters.activations += u64::from(activated);
+        self.stats.bus_busy_ps += burst;
+
+        // First beat completes after half a device clock (one DDR beat).
+        let first_data_ps = data_start + half_clock_ps;
+        Completion {
+            cas_ps: cas_at,
+            first_data_ps: first_data_ps.min(data_end),
+            last_data_ps: data_end,
+            row_hit,
+            activated,
+            conflict,
+        }
+    }
+
+    /// The activation slow path: needs an ACT, maybe a PRE first, under
+    /// the rank-level `tRRD`/`tFAW` throttles and same-bank `tRC`. Kept
+    /// out of line so the row-hit fast path stays compact. Returns the
+    /// earliest CAS time and whether another row had to be closed.
+    #[inline(never)]
+    fn activate(&mut self, now: Ps, row: u64, bank_idx: usize, rank_idx: usize) -> (Ps, bool) {
+        let t = &self.timing;
+        let (rp_ps, rrd_ps, faw_ps, rc_ps, rcd_ps) =
+            (t.rp_ps, t.rrd_ps, t.faw_ps, t.rc_ps, t.rcd_ps);
+        let bank = self.banks[bank_idx];
+        let mut conflict = false;
+        let after_pre = if bank.open_row.is_some() {
+            conflict = true;
+            let pre_at = now.max(bank.earliest_pre);
+            pre_at + rp_ps
+        } else {
+            now.max(bank.earliest_act)
+        };
+        // Rank-level activation throttles: tRRD after the first ACT,
+        // tFAW once four ACTs have happened in the window.
+        let acts_so_far = self.rank_act_count[rank_idx];
+        let rrd_ready = if acts_so_far >= 1 {
+            self.rank_last_act[rank_idx] + rrd_ps
+        } else {
+            0
+        };
+        let faw_ready = if acts_so_far >= 4 {
+            self.rank_faw[rank_idx][self.rank_faw_idx[rank_idx]] + faw_ps
+        } else {
+            0
+        };
+        // Same-bank ACT-to-ACT (tRC).
+        let rc_ready = if bank.activated_once {
+            bank.act_at + rc_ps
+        } else {
+            0
+        };
+        let act_at = after_pre.max(rrd_ready).max(faw_ready).max(rc_ready);
+
+        let b = &mut self.banks[bank_idx];
+        b.open_row = Some(row);
+        b.act_at = act_at;
+        b.activated_once = true;
+        b.earliest_act = act_at + rc_ps;
+        self.rank_last_act[rank_idx] = act_at;
+        self.rank_faw[rank_idx][self.rank_faw_idx[rank_idx]] = act_at;
+        self.rank_faw_idx[rank_idx] = (self.rank_faw_idx[rank_idx] + 1) % 4;
+        self.rank_act_count[rank_idx] += 1;
+        (act_at + rcd_ps, conflict)
+    }
+
+    /// [`Self::access`] on the original div/mod + multiply path,
+    /// retained verbatim: [`Location::route`] divides out the geometry,
+    /// every constraint re-multiplies its clock count, and the burst
+    /// duration recomputes its `div_ceil`s. Performs the identical state
+    /// transition — the executable reference the property suite and the
+    /// `dram_access` microbench group race the fast path against.
+    pub fn access_reference(&mut self, now: Ps, op: Op, rc: RowCol, bytes: u32) -> Completion {
+        debug_assert!(
+            rc.col_byte + bytes <= self.cfg.row_bytes,
+            "access must not cross a row boundary"
+        );
         let loc = Location::route(rc.row, &self.cfg);
         let bank_idx = loc.flat_bank(&self.cfg);
         let rank_idx = loc.flat_rank(&self.cfg);
@@ -283,7 +557,10 @@ impl DramModel {
 
     /// Convenience: access by physical byte address (linear row mapping).
     pub fn access_addr(&mut self, now: Ps, op: Op, addr: u64, bytes: u32) -> Completion {
-        let rc = RowCol::from_phys_addr(addr, self.cfg.row_bytes);
+        let rc = match self.route {
+            Some(map) => map.row_col(addr),
+            None => RowCol::from_phys_addr(addr, self.cfg.row_bytes),
+        };
         self.access(now, op, rc, bytes)
     }
 }

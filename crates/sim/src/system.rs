@@ -1,11 +1,11 @@
 //! The multicore system driver.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use unison_core::{DramCacheModel, MemPorts, Request};
 use unison_dram::Ps;
-use unison_trace::TraceRecord;
+use unison_trace::{AccessKind, TraceRecord};
 
 use crate::core_model::{CoreClock, CoreParams};
 
@@ -49,7 +49,7 @@ pub struct Progress {
 /// session reproduces and a carried-over one would not.
 #[derive(Debug, Default)]
 pub struct DispatchSession {
-    bufs: Vec<VecDeque<TraceRecord>>,
+    bufs: CoreSlab,
     heap: BinaryHeap<Reverse<(Ps, usize)>>,
     exhausted: bool,
     primed: bool,
@@ -59,6 +59,131 @@ impl DispatchSession {
     /// Creates an empty session; per-core state is sized on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Initial per-core ring capacity, log2 (16 records). The refill policy
+/// is *minimal* — it stops as soon as the active core has one record — so
+/// buffered depth per core stays near the core-interleave distance of the
+/// trace and growth is rare.
+const SLAB_INIT_LOG2: u32 = 4;
+
+/// Per-core FIFO record buffers backed by one flat slab.
+///
+/// The dispatch loop historically kept a `Vec<VecDeque<TraceRecord>>`:
+/// one heap-allocated deque per core, each with its own head/tail/cap
+/// bookkeeping and grow policy, touched once per trace record. This slab
+/// keeps every core's buffer in a single contiguous allocation — core `c`
+/// owns the power-of-two window `slab[c << cap_log2 .. (c + 1) << cap_log2]`
+/// and rings within it — so a push or pop is one masked index plus a
+/// `u32` head/len update against two small parallel arrays that stay
+/// cache-resident across the whole run.
+///
+/// FIFO order per core is preserved exactly (same `push_back`/`pop_front`
+/// contract as the deques), so dispatch selection order is untouched:
+/// `chunked_dispatch_matches_reference_loop` and
+/// `session_stepping_matches_single_run` race it against the verbatim
+/// `VecDeque` reference loop below.
+#[derive(Debug, Default)]
+struct CoreSlab {
+    /// All cores' rings, `cores << cap_log2` slots.
+    slab: Vec<TraceRecord>,
+    /// Per-core ring head, kept masked (`< 1 << cap_log2`).
+    head: Vec<u32>,
+    /// Per-core live record count, `<= 1 << cap_log2`.
+    len: Vec<u32>,
+    /// Log2 of each core's ring capacity; uniform so indexing is one
+    /// shift + OR with no per-core lookup.
+    cap_log2: u32,
+}
+
+impl CoreSlab {
+    /// Slot filler for unoccupied ring capacity; never dispatched.
+    const FILLER: TraceRecord = TraceRecord {
+        core: 0,
+        kind: AccessKind::Read,
+        pc: 0,
+        addr: 0,
+        igap: 0,
+    };
+
+    /// Sizes the slab for `n` cores (no-op once sized).
+    fn ensure_cores(&mut self, n: usize) {
+        if self.head.len() < n {
+            self.head.resize(n, 0);
+            self.len.resize(n, 0);
+            if self.cap_log2 == 0 {
+                self.cap_log2 = SLAB_INIT_LOG2;
+            }
+            self.slab.resize(n << self.cap_log2, Self::FILLER);
+        }
+    }
+
+    /// Number of cores the slab is sized for.
+    #[inline]
+    fn cores(&self) -> usize {
+        self.head.len()
+    }
+
+    #[inline]
+    fn is_empty(&self, core: usize) -> bool {
+        self.len[core] == 0
+    }
+
+    #[inline]
+    fn front(&self, core: usize) -> Option<&TraceRecord> {
+        if self.len[core] == 0 {
+            return None;
+        }
+        Some(&self.slab[(core << self.cap_log2) | self.head[core] as usize])
+    }
+
+    #[inline]
+    fn push_back(&mut self, core: usize, rec: TraceRecord) {
+        let mask = (1u32 << self.cap_log2) - 1;
+        if self.len[core] > mask {
+            self.grow();
+        }
+        let mask = (1u32 << self.cap_log2) - 1;
+        let slot = (self.head[core] + self.len[core]) & mask;
+        self.slab[(core << self.cap_log2) | slot as usize] = rec;
+        self.len[core] += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, core: usize) -> Option<TraceRecord> {
+        if self.len[core] == 0 {
+            return None;
+        }
+        let mask = (1u32 << self.cap_log2) - 1;
+        let rec = self.slab[(core << self.cap_log2) | self.head[core] as usize];
+        self.head[core] = (self.head[core] + 1) & mask;
+        self.len[core] -= 1;
+        Some(rec)
+    }
+
+    /// Doubles every core's ring, repacking live records to offset 0.
+    /// Capacity is uniform across cores, so one hot core's burst grows
+    /// the whole slab — acceptable because depth tracks the trace's core
+    /// interleave, which is similar for every core.
+    #[cold]
+    fn grow(&mut self) {
+        let old_log2 = self.cap_log2;
+        let new_log2 = old_log2 + 1;
+        let mask = (1u32 << old_log2) - 1;
+        let n = self.cores();
+        let mut slab = vec![Self::FILLER; n << new_log2];
+        for core in 0..n {
+            let old_base = core << old_log2;
+            let new_base = core << new_log2;
+            for i in 0..self.len[core] {
+                let src = old_base | ((self.head[core] + i) & mask) as usize;
+                slab[new_base + i as usize] = self.slab[src];
+            }
+            self.head[core] = 0;
+        }
+        self.slab = slab;
+        self.cap_log2 = new_log2;
     }
 }
 
@@ -173,17 +298,17 @@ impl<C: DramCacheModel> System<C> {
         // predicted-not-taken branch rather than a hardware division.
         fn refill<I: Iterator<Item = TraceRecord>>(
             trace: &mut I,
-            bufs: &mut [VecDeque<TraceRecord>],
+            bufs: &mut CoreSlab,
             core: usize,
             exhausted: &mut bool,
         ) {
-            let n = bufs.len();
-            while bufs[core].is_empty() && !*exhausted {
+            let n = bufs.cores();
+            while bufs.is_empty(core) && !*exhausted {
                 match trace.next() {
                     Some(r) => {
                         let c = usize::from(r.core);
                         let c = if c < n { c } else { c % n };
-                        bufs[c].push_back(r);
+                        bufs.push_back(c, r);
                     }
                     None => *exhausted = true,
                 }
@@ -192,10 +317,10 @@ impl<C: DramCacheModel> System<C> {
 
         // Prime every core (once per session).
         if !*primed {
-            bufs.resize(n_cores, VecDeque::new());
+            bufs.ensure_cores(n_cores);
             for c in 0..n_cores {
                 refill(trace, bufs, c, exhausted);
-                if let Some(r) = bufs[c].front() {
+                if let Some(r) = bufs.front(c) {
                     let issue = self.cores[c].time_ps + self.params.compute_ps(u64::from(r.igap));
                     heap.push(Reverse((issue, c)));
                 }
@@ -210,7 +335,7 @@ impl<C: DramCacheModel> System<C> {
             // Consume a chunk of records on core `c` while it remains the
             // globally minimal (issue, core) — no heap churn within the run.
             loop {
-                let Some(rec) = bufs[c].pop_front() else {
+                let Some(rec) = bufs.pop_front(c) else {
                     // Unreachable under the invariant (an entry implies a
                     // non-empty buffer); defensive fallthrough.
                     continue 'dispatch;
@@ -233,7 +358,7 @@ impl<C: DramCacheModel> System<C> {
                 consumed += 1;
 
                 refill(trace, bufs, c, exhausted);
-                let Some(r) = bufs[c].front() else {
+                let Some(r) = bufs.front(c) else {
                     // Trace exhausted for this core; it leaves the heap.
                     continue 'dispatch;
                 };
@@ -267,6 +392,8 @@ impl<C: DramCacheModel> System<C> {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::VecDeque;
+
     use super::*;
     use unison_core::{IdealCache, NoCache};
     use unison_trace::{workloads, WorkloadGen};
